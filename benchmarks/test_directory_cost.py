@@ -1,0 +1,37 @@
+"""Benchmark: section III-B directory storage costs and measured occupancy."""
+
+from conftest import run_once
+
+from repro.experiments.directory_cost import (
+    run_directory_occupancy,
+    storage_cost_table,
+)
+from repro.experiments.common import ExperimentSettings
+
+
+def test_directory_storage_costs_and_occupancy(benchmark, settings):
+    table = storage_cost_table()
+    occupancy = run_once(
+        benchmark,
+        lambda: run_directory_occupancy(
+            ExperimentSettings(
+                scale=settings.scale,
+                accesses_per_thread=max(400, settings.accesses_per_thread // 3),
+                warmup_accesses_per_thread=0,
+                num_sockets=4,
+                cores_per_socket=2,
+            ),
+            workload="facesim",
+        ),
+    )
+    print("\nSparse directory storage (paper section III-B):")
+    for name, megabytes in table.items():
+        print(f"  {name:30s} {megabytes:7.1f} MB")
+    print(f"Measured peak directory entries: {occupancy}")
+
+    benchmark.extra_info.update(occupancy)
+    # Paper arithmetic reproduced exactly.
+    assert round(table["256MB cache, 2x sparse"]) == 32
+    assert round(table["1GB cache, 2x sparse"]) == 128
+    # C3D's non-inclusive directory needs far fewer entries than full-dir's.
+    assert occupancy["full-dir"] > 2 * occupancy["c3d"]

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 10 (sensitivity to DRAM-cache latency)."""
+
+from conftest import run_once
+
+from repro.experiments.fig10 import format_fig10, run_fig10
+
+
+def test_fig10_dram_cache_latency_sensitivity(benchmark, context, sensitivity_workloads):
+    series = run_once(
+        benchmark, lambda: run_fig10(context, workloads=sensitivity_workloads)
+    )
+    print("\n" + format_fig10(series))
+
+    benchmark.extra_info.update(
+        {f"c3d[{point}]": row["c3d"] for point, row in series.items()}
+    )
+
+    # Paper shape: C3D keeps a clear gain even when the DRAM cache is as slow
+    # as memory (50 ns), gains more with a faster cache (30 ns), and always
+    # beats snoopy.
+    assert series["50ns"]["c3d"] > 1.02
+    assert series["30ns"]["c3d"] >= series["50ns"]["c3d"]
+    for point in series:
+        assert series[point]["c3d"] >= series[point]["snoopy"]

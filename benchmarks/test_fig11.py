@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 11 (sensitivity to inter-socket latency)."""
+
+from conftest import run_once
+
+from repro.experiments.fig11 import format_fig11, run_fig11
+
+
+def test_fig11_inter_socket_latency_sensitivity(benchmark, context, sensitivity_workloads):
+    series = run_once(
+        benchmark, lambda: run_fig11(context, workloads=sensitivity_workloads)
+    )
+    print("\n" + format_fig11(series))
+
+    benchmark.extra_info.update(
+        {f"c3d[{point}]": row["c3d"] for point, row in series.items()}
+    )
+
+    # Paper shape: C3D still helps at an unrealistically fast 5 ns/hop, its
+    # advantage grows with the inter-socket latency, and it consistently
+    # outperforms snoopy and full-dir across the sweep.
+    assert series["5ns"]["c3d"] > 1.0
+    assert series["30ns"]["c3d"] >= series["5ns"]["c3d"]
+    for point, row in series.items():
+        assert row["c3d"] >= row["snoopy"] - 0.02
+        assert row["c3d"] >= row["full-dir"] - 0.02

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 2 (NUMA bottleneck analysis)."""
+
+from conftest import run_once
+
+from repro.experiments.fig2 import format_fig2, run_fig2
+
+
+def test_fig2_numa_bottleneck_analysis(benchmark, context):
+    series = run_once(benchmark, lambda: run_fig2(context))
+    print("\n" + format_fig2(series))
+
+    geomean = series["geomean"]
+    benchmark.extra_info.update({f"speedup[{k}]": v for k, v in geomean.items()})
+
+    # Paper shape: zero QPI latency gives double-digit speedups, infinite
+    # bandwidth (memory or QPI) gives almost nothing.
+    assert geomean["0_qpi_lat"] > 1.05
+    assert geomean["inf_mem_bw"] < geomean["0_qpi_lat"]
+    assert geomean["inf_qpi_bw"] < geomean["0_qpi_lat"]
+    assert geomean["inf_mem_bw + inf_qpi_bw"] < geomean["0_qpi_lat"]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 3 (memory accesses vs. cache capacity)."""
+
+from conftest import run_once
+
+from repro.experiments.fig3 import format_fig3, run_fig3
+
+
+def test_fig3_memory_accesses_vs_cache_size(benchmark, context):
+    series = run_once(benchmark, lambda: run_fig3(context))
+    print("\n" + format_fig3(series))
+
+    average = series["average"]
+    benchmark.extra_info.update(average)
+
+    # Paper shape: growing the cache towards 1 GB keeps removing memory
+    # accesses (38.6-45.5% fewer at 1 GB on average).
+    assert average["1GB"] <= average["256MB"] <= average["64MB"] + 0.02
+    assert average["1GB"] < 0.9
+    # streamcluster's working set fits: its 1 GB point is among the lowest.
+    assert series["streamcluster"]["1GB"] <= average["1GB"] + 0.05

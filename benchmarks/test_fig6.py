@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 6 (4-socket speedups over the baseline)."""
+
+from conftest import run_once
+
+from repro.experiments.fig6 import format_fig6, run_fig6
+
+
+def test_fig6_quad_socket_speedups(benchmark, context):
+    series = run_once(benchmark, lambda: run_fig6(context))
+    print("\n" + format_fig6(series))
+
+    geomean = series["geomean"]
+    benchmark.extra_info.update({f"speedup[{k}]": v for k, v in geomean.items()})
+
+    # Paper shape for the quad-socket machine:
+    #  * C3D improves over the baseline on every workload (6.4-50.7%),
+    #  * streamcluster is C3D's biggest winner,
+    #  * the idealised c3d-full-dir is only marginally better than c3d,
+    #  * snoopy is the weakest of the DRAM-cache designs,
+    #  * full-dir never beats c3d.
+    per_workload = {name: row for name, row in series.items() if name != "geomean"}
+    assert all(row["c3d"] > 1.0 for row in per_workload.values())
+    assert max(per_workload, key=lambda w: per_workload[w]["c3d"]) == "streamcluster"
+    assert abs(geomean["c3d-full-dir"] - geomean["c3d"]) < 0.05
+    assert geomean["snoopy"] <= geomean["full-dir"]
+    assert geomean["c3d"] >= geomean["full-dir"] - 0.01
+    assert geomean["c3d"] > 1.05

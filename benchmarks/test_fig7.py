@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 7 (2-socket speedups over the baseline)."""
+
+from conftest import run_once
+
+from repro.experiments.fig7 import format_fig7, run_fig7
+
+
+def test_fig7_dual_socket_speedups(benchmark, dual_context):
+    series = run_once(benchmark, lambda: run_fig7(dual_context))
+    print("\n" + format_fig7(series))
+
+    geomean = series["geomean"]
+    benchmark.extra_info.update({f"speedup[{k}]": v for k, v in geomean.items()})
+
+    # Paper shape: the trends follow the 4-socket results, C3D gains on every
+    # workload and stays within a few percent of the idealised c3d-full-dir.
+    per_workload = {name: row for name, row in series.items() if name != "geomean"}
+    assert all(row["c3d"] > 1.0 for row in per_workload.values())
+    assert geomean["c3d"] > 1.05
+    assert abs(geomean["c3d-full-dir"] - geomean["c3d"]) < 0.05
+    assert geomean["c3d"] >= geomean["snoopy"]

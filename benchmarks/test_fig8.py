@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 8 (C3D memory traffic vs. the baseline)."""
+
+from conftest import run_once
+
+from repro.experiments.fig8 import format_fig8, run_fig8
+
+
+def test_fig8_c3d_memory_traffic(benchmark, context):
+    series = run_once(benchmark, lambda: run_fig8(context))
+    print("\n" + format_fig8(series))
+
+    average = series["average"]
+    benchmark.extra_info.update(average)
+
+    # Paper shape: reads drop sharply (70.9% avg reduction, up to 99% for
+    # streamcluster), writes are unchanged (write-through caches), and the
+    # total drops as a result (49% avg).
+    assert average["reads"] < 0.85
+    assert 0.7 < average["writes"] < 1.3
+    assert average["total"] < 1.0
+    assert series["streamcluster"]["reads"] == min(
+        row["reads"] for name, row in series.items() if name != "average"
+    )

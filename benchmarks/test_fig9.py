@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 9 (inter-socket traffic vs. the baseline)."""
+
+from conftest import run_once
+
+from repro.experiments.fig9 import format_fig9, run_fig9
+
+
+def test_fig9_inter_socket_traffic(benchmark, context):
+    series = run_once(benchmark, lambda: run_fig9(context))
+    print("\n" + format_fig9(series))
+
+    average = series["average"]
+    benchmark.extra_info.update(average)
+
+    # Paper shape: C3D reduces inter-socket traffic vs. the baseline (35.9%
+    # average), is within a modest margin of the idealised full directory
+    # (broadcast control packets are small), and snoopy is by far the worst.
+    assert average["c3d"] < 1.0
+    assert average["snoopy"] > average["c3d"]
+    assert average["snoopy"] > 1.0
+    assert average["c3d"] < average["c3d-full-dir"] * 1.6
+    assert average["full-dir"] <= average["snoopy"]

@@ -1,0 +1,41 @@
+"""Microbenchmark: raw simulator throughput (accesses per second).
+
+Not a paper figure -- this tracks the cost of the simulation infrastructure
+itself so that regressions in the hot path (cache lookups, protocol
+transactions, interconnect accounting) are visible.  pytest-benchmark's
+statistics are meaningful here, so unlike the figure benchmarks this one uses
+several rounds.
+"""
+
+from repro.system.numa_system import NumaSystem
+from repro.system.simulator import Simulator
+from repro.system.config import SystemConfig
+from repro.workloads.registry import make_workload
+
+ACCESSES_PER_CORE = 400
+SCALE = 1024
+
+
+def run_simulation(protocol: str) -> int:
+    config = SystemConfig.quad_socket(protocol=protocol).scaled(SCALE)
+    system = NumaSystem(config)
+    workload = make_workload(
+        "facesim", scale=SCALE, accesses_per_thread=ACCESSES_PER_CORE,
+        num_threads=config.total_cores,
+    )
+    result = Simulator(system, workload).run(prewarm=True)
+    return result.accesses_executed
+
+
+def test_throughput_baseline(benchmark):
+    executed = benchmark.pedantic(
+        lambda: run_simulation("baseline"), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert executed == ACCESSES_PER_CORE * 32
+
+
+def test_throughput_c3d(benchmark):
+    executed = benchmark.pedantic(
+        lambda: run_simulation("c3d"), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert executed == ACCESSES_PER_CORE * 32

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table I (remote-memory access fractions)."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import PAPER_TABLE1, format_table1, run_table1
+
+
+def test_table1_remote_memory_fractions(benchmark, context):
+    measured = run_once(benchmark, lambda: run_table1(context))
+    print("\n" + format_table1(measured))
+
+    # Paper: the vast majority of memory accesses are remote (avg ~73.5%),
+    # with tunkrank the least remote workload.  Check the shape.
+    average = sum(measured.values()) / len(measured)
+    benchmark.extra_info["average_remote_fraction"] = average
+    benchmark.extra_info["paper_average"] = sum(PAPER_TABLE1.values()) / len(PAPER_TABLE1)
+    assert average > 0.5
+    assert measured["tunkrank"] == min(measured.values())

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Model-check the C3D coherence protocol (the paper's Murphi verification).
+
+The paper verifies C3D with the Murphi model checker, proving the
+Single-Writer/Multiple-Reader invariant and per-location sequential
+consistency.  This example does the reproduction-scale equivalent with the
+built-in explicit-state checker:
+
+* exhaustively explores the clean (C3D), C3D+full-directory and
+  dirty-full-directory protocol models for 2-4 sockets;
+* demonstrates that the checker has teeth by also checking a deliberately
+  broken variant (clean caches but *no* broadcast on writes to untracked
+  blocks) and printing the counterexample trace it finds.
+
+Run with::
+
+    python examples/protocol_verification.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.verification import ProtocolVariant, check_protocol
+
+
+def main() -> None:
+    print("Exhaustive state-space exploration of the abstract protocol models\n")
+    for variant in (
+        ProtocolVariant.CLEAN,
+        ProtocolVariant.CLEAN_FULL_DIR,
+        ProtocolVariant.DIRTY_FULL_DIR,
+    ):
+        for sockets in (2, 3, 4):
+            start = time.time()
+            result = check_protocol(variant, num_sockets=sockets)
+            elapsed = time.time() - start
+            status = "PASS" if result.passed else "FAIL"
+            print(
+                f"  {variant.value:16s} {sockets} sockets: {status}  "
+                f"({result.states_explored} states, "
+                f"{result.transitions_explored} transitions, {elapsed:.2f} s)"
+            )
+
+    print("\nNegative control: C3D without the broadcast on untracked writes\n")
+    broken = check_protocol(ProtocolVariant.BROKEN_NO_BROADCAST, num_sockets=2)
+    print(broken.summary())
+    print(
+        "\nThe counterexample shows exactly why the broadcast is needed: after a\n"
+        "dirty block is written through and retained (untracked) in a DRAM cache,\n"
+        "a write from another socket must invalidate that copy or a later read\n"
+        "observes stale data."
+    )
+
+
+if __name__ == "__main__":
+    main()

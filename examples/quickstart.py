@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on a C3D machine and print what happened.
+
+This is the smallest end-to-end use of the library: build the paper's
+quad-socket machine (scaled down so the run takes seconds), generate a
+synthetic `streamcluster` trace, run it under the C3D coherence design and
+print the cache behaviour, AMAT breakdown and NUMA traffic statistics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import NumaSystem, Simulator, SystemConfig, amat_breakdown, make_workload
+
+#: Scale factor applied to capacities and working sets (see DESIGN.md §5).
+SCALE = 512
+ACCESSES_PER_CORE = 2000
+WARMUP_PER_CORE = 500
+
+
+def main() -> None:
+    # 1. Describe the machine: 4 sockets x 8 cores, 1 GB DRAM cache per socket
+    #    (divided by SCALE), kept coherent with the C3D protocol.
+    config = SystemConfig.quad_socket(protocol="c3d").scaled(SCALE)
+    print(f"Machine     : {config.describe()}")
+
+    # 2. Build the machine and a workload whose working set is scaled the same way.
+    system = NumaSystem(config)
+    workload = make_workload(
+        "streamcluster",
+        scale=SCALE,
+        accesses_per_thread=ACCESSES_PER_CORE + WARMUP_PER_CORE,
+        num_threads=config.total_cores,
+    )
+    print(f"Workload    : {workload.name}, {workload.num_threads} threads, "
+          f"~{workload.total_footprint_bytes() / 2**20:.1f} MB footprint (scaled)")
+
+    # 3. Run: pre-warm the DRAM caches, discard a short warm-up window, measure.
+    simulator = Simulator(system, workload)
+    result = simulator.run(warmup_accesses_per_core=WARMUP_PER_CORE, prewarm=True)
+
+    # 4. Report.
+    stats = result.stats
+    print(f"\nSimulated {result.accesses_executed} memory accesses "
+          f"in {result.total_time_ns / 1000:.1f} simulated us")
+    print(f"L1 hit rate         : {stats.l1_hit_rate() * 100:5.1f} %")
+    print(f"LLC hit rate        : {stats.llc_hit_rate() * 100:5.1f} %")
+    print(f"DRAM cache hit rate : {stats.dram_cache_hit_rate() * 100:5.1f} %")
+    print(f"Remote memory frac. : {stats.remote_memory_fraction() * 100:5.1f} %")
+    print(f"Inter-socket bytes  : {result.inter_socket_bytes}")
+    print(f"Broadcast invalidations sent: {stats.broadcasts}")
+    print()
+    print(amat_breakdown(stats).format())
+
+    violations = system.check_invariants()
+    print(f"\nCoherence invariant check: {'OK' if not violations else violations}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only exists so that
+`pip install -e . --no-use-pep517` (legacy editable install) works in offline
+environments that lack the wheel build backend.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Reproduction of C3D: Mitigating the NUMA Bottleneck via Coherent DRAM Caches (MICRO 2016)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,61 @@
+"""repro -- a reproduction of "C3D: Mitigating the NUMA Bottleneck via
+Coherent DRAM Caches" (Huang et al., MICRO 2016).
+
+The package provides:
+
+* ``repro.core`` -- the C3D protocol (clean DRAM caches + non-inclusive
+  directory), the idealised C3D+full-directory variant, and the TLB-based
+  broadcast filter;
+* ``repro.coherence`` -- the coherence substrate and the baseline, snoopy and
+  full-directory designs the paper compares against;
+* ``repro.caches`` / ``repro.memory`` / ``repro.interconnect`` / ``repro.cpu``
+  -- the simulated machine's building blocks (Table II);
+* ``repro.system`` -- configuration, machine assembly and the trace-driven
+  simulation driver;
+* ``repro.workloads`` -- synthetic models of the PARSEC / CloudSuite / SPEC
+  workloads the paper evaluates;
+* ``repro.experiments`` -- one module per paper table/figure that regenerates
+  its rows or series;
+* ``repro.verification`` -- an explicit-state model checker for the C3D
+  protocol (SWMR and per-location SC invariants).
+
+Quickstart::
+
+    from repro import SystemConfig, NumaSystem, Simulator, make_workload
+
+    config = SystemConfig.quad_socket(protocol="c3d").scaled(512)
+    system = NumaSystem(config)
+    workload = make_workload("streamcluster", scale=512, accesses_per_thread=2000)
+    result = Simulator(system, workload).run()
+    print(result.stats.dram_cache_hit_rate(), result.total_time_ns)
+"""
+
+from .stats import SimulationStats, amat_breakdown
+from .system import (
+    PROTOCOL_NAMES,
+    PROTOCOL_REGISTRY,
+    NumaSystem,
+    SimulationResult,
+    Simulator,
+    SystemConfig,
+    build_system,
+)
+from .workloads import EVALUATED_WORKLOADS, make_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SystemConfig",
+    "NumaSystem",
+    "build_system",
+    "Simulator",
+    "SimulationResult",
+    "SimulationStats",
+    "amat_breakdown",
+    "PROTOCOL_NAMES",
+    "PROTOCOL_REGISTRY",
+    "make_workload",
+    "workload_names",
+    "EVALUATED_WORKLOADS",
+]

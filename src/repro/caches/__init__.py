@@ -1,0 +1,28 @@
+"""Cache substrate: SRAM caches, DRAM cache, miss predictor, replacement."""
+
+from .block import CacheBlockState, CacheLine, EvictedLine
+from .dram_cache import DRAMCache, DRAMCacheProbe
+from .miss_predictor import RegionMissPredictor
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_replacement_policy,
+)
+from .sram_cache import SetAssociativeCache
+
+__all__ = [
+    "CacheBlockState",
+    "CacheLine",
+    "EvictedLine",
+    "SetAssociativeCache",
+    "DRAMCache",
+    "DRAMCacheProbe",
+    "RegionMissPredictor",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "make_replacement_policy",
+]

@@ -1,0 +1,68 @@
+"""Cache-line bookkeeping shared by the SRAM and DRAM cache models."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["CacheBlockState", "CacheLine", "EvictedLine"]
+
+
+class CacheBlockState(enum.Enum):
+    """MSI state of a block within a cache.
+
+    The paper's protocols (local directory, global directory, DRAM cache and
+    LLC controllers) are all MSI-based; the Exclusive state is deliberately
+    omitted (section IV-C explains why an E state has little value under a
+    non-inclusive directory).
+    """
+
+    INVALID = "I"
+    SHARED = "S"
+    MODIFIED = "M"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not CacheBlockState.INVALID
+
+    @property
+    def is_writable(self) -> bool:
+        return self is CacheBlockState.MODIFIED
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """A resident cache line.
+
+    ``dirty`` is tracked separately from the MSI state because the clean
+    DRAM cache of C3D holds lines that are coherence-wise SHARED and never
+    dirty, while a dirty DRAM cache design (full-dir, snoopy) marks lines
+    dirty when it absorbs a modified LLC victim.
+
+    Caches only keep resident (valid) lines in their tag stores -- an
+    invalidation removes the line object -- so ``valid`` is effectively
+    always True for a line obtained from a cache and exists for API clarity.
+    """
+
+    block: int
+    state: CacheBlockState = CacheBlockState.SHARED
+    dirty: bool = False
+    last_use: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.state is not CacheBlockState.INVALID
+
+
+@dataclass
+class EvictedLine:
+    """A victim produced by an insertion."""
+
+    block: int
+    state: CacheBlockState
+    dirty: bool
+
+    @property
+    def needs_writeback(self) -> bool:
+        return self.dirty

@@ -1,0 +1,201 @@
+"""Direct-mapped, block-based DRAM cache (Table II: 1 GB, direct-mapped,
+64-byte blocks, 40 ns access, region-based miss predictor).
+
+Two operating modes are supported, selected by ``clean``:
+
+* ``clean=True`` (C3D): the cache never holds dirty data.  Modified LLC
+  victims are inserted *clean*; the owning socket is responsible for writing
+  the data through to memory.  ``insert`` therefore never produces a victim
+  that needs a writeback.
+* ``clean=False`` (snoopy / full-dir designs): modified LLC victims are
+  absorbed dirty, and evicting a dirty line produces a writeback to memory.
+
+The DRAM cache is *non-inclusive* with respect to the on-chip hierarchy in
+all designs (section IV-C): it never forces LLC invalidations, and LLC fills
+do not have to allocate here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from .block import CacheBlockState, CacheLine, EvictedLine
+from .miss_predictor import RegionMissPredictor
+
+__all__ = ["DRAMCache", "DRAMCacheProbe"]
+
+
+@dataclass
+class DRAMCacheProbe:
+    """Result of a DRAM-cache probe.
+
+    ``hit`` tells whether the block was found; ``array_accessed`` tells
+    whether the DRAM array had to be accessed (False when the miss predictor
+    confidently predicted a miss, in which case the array latency is saved).
+    """
+
+    hit: bool
+    array_accessed: bool
+    dirty: bool = False
+
+
+class DRAMCache:
+    """Direct-mapped DRAM cache of 64-byte blocks."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        *,
+        block_size: int = 64,
+        clean: bool = True,
+        name: str = "dram_cache",
+        miss_predictor: Optional[RegionMissPredictor] = None,
+    ) -> None:
+        if size_bytes <= 0 or block_size <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        self.num_sets = size_bytes // block_size
+        if self.num_sets == 0:
+            raise ValueError(f"{name}: size {size_bytes} smaller than one block")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.block_size = block_size
+        self.clean = clean
+        self.miss_predictor = miss_predictor
+        self._lines: Dict[int, CacheLine] = {}
+
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.invalidations = 0
+        self.predictor_bypasses = 0
+
+    # -- geometry -----------------------------------------------------------
+
+    def set_index(self, block: int) -> int:
+        """Direct-mapped set index of block number ``block``."""
+        return block % self.num_sets
+
+    # -- queries ------------------------------------------------------------
+
+    def contains(self, block: int) -> bool:
+        """True if ``block`` is resident (no statistics update)."""
+        line = self._lines.get(self.set_index(block))
+        return line is not None and line.valid and line.block == block
+
+    def peek(self, block: int) -> Optional[CacheLine]:
+        """Return the resident line for ``block`` without side effects."""
+        line = self._lines.get(self.set_index(block))
+        if line is not None and line.valid and line.block == block:
+            return line
+        return None
+
+    def probe(self, block: int) -> DRAMCacheProbe:
+        """Look up ``block``, consulting the miss predictor first.
+
+        Updates hit/miss statistics.  When the predictor predicts a miss the
+        DRAM array is not accessed; the caller should charge only the
+        predictor latency in that case.
+        """
+        if self.miss_predictor is not None and self.miss_predictor.predicts_miss(block):
+            if self.peek(block) is None:
+                self.predictor_bypasses += 1
+                self.misses += 1
+                return DRAMCacheProbe(hit=False, array_accessed=False)
+            # Mis-prediction (the predictor lost this region's residency
+            # information): fall through to the array access so that a
+            # resident -- possibly dirty -- line is never silently ignored.
+        line = self.peek(block)
+        if line is None:
+            self.misses += 1
+            return DRAMCacheProbe(hit=False, array_accessed=True)
+        self.hits += 1
+        return DRAMCacheProbe(hit=True, array_accessed=True, dirty=line.dirty)
+
+    # -- mutations ------------------------------------------------------------
+
+    def insert(
+        self,
+        block: int,
+        *,
+        dirty: bool = False,
+        state: CacheBlockState = CacheBlockState.SHARED,
+    ) -> Optional[EvictedLine]:
+        """Insert ``block``, returning the displaced victim if any.
+
+        In clean mode the inserted line is always stored clean regardless of
+        the ``dirty`` argument (the caller performs the memory write-through),
+        and victims never require a writeback.
+        """
+        stored_dirty = dirty and not self.clean
+        index = self.set_index(block)
+        existing = self._lines.get(index)
+
+        victim: Optional[EvictedLine] = None
+        if existing is not None and existing.valid:
+            if existing.block == block:
+                existing.dirty = existing.dirty or stored_dirty
+                existing.state = state
+                return None
+            victim = EvictedLine(existing.block, existing.state, existing.dirty)
+            self.evictions += 1
+            if existing.dirty:
+                self.dirty_evictions += 1
+            if self.miss_predictor is not None:
+                self.miss_predictor.note_evict(existing.block)
+
+        self._lines[index] = CacheLine(block=block, state=state, dirty=stored_dirty)
+        if self.miss_predictor is not None:
+            self.miss_predictor.note_insert(block)
+        return victim
+
+    def invalidate(self, block: int) -> Optional[CacheLine]:
+        """Remove ``block`` (e.g. on a broadcast invalidation); return the line."""
+        index = self.set_index(block)
+        line = self._lines.get(index)
+        if line is None or not line.valid or line.block != block:
+            return None
+        del self._lines[index]
+        self.invalidations += 1
+        if self.miss_predictor is not None:
+            self.miss_predictor.note_evict(block)
+        return line
+
+    def mark_clean(self, block: int) -> None:
+        """Clear the dirty bit of a resident block (after a writeback)."""
+        line = self.peek(block)
+        if line is not None:
+            line.dirty = False
+
+    def clear(self) -> None:
+        """Drop all contents."""
+        self._lines.clear()
+
+    # -- statistics -----------------------------------------------------------
+
+    def occupancy(self) -> int:
+        """Number of valid resident blocks."""
+        return sum(1 for line in self._lines.values() if line.valid)
+
+    def resident_blocks(self) -> Iterator[int]:
+        """Iterate over resident block numbers."""
+        for line in self._lines.values():
+            if line.valid:
+                yield line.block
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Hit fraction over all probes (0.0 when never probed)."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DRAMCache(name={self.name!r}, size={self.size_bytes}, "
+            f"clean={self.clean}, occupancy={self.occupancy()})"
+        )

@@ -1,0 +1,136 @@
+"""Region-based DRAM-cache miss predictor (Table II: "region-based miss
+predictor, 4K-entry, 2-cycle").
+
+The predictor keeps a small, LRU-managed table of recently observed memory
+*regions* (4 KiB by default).  Each entry stores a presence bit per block of
+the region (MissMap semantics, as in the Loh & Hill design the paper cites):
+the bit is set when the block is inserted into the DRAM cache and cleared
+when it is evicted or invalidated.  On a DRAM-cache lookup the predictor is
+consulted first:
+
+* if the region is untracked, or tracked with the block's bit clear, the
+  block is predicted absent and the slow DRAM-cache array access is skipped;
+* otherwise the block is predicted present and the array is probed.
+
+Displacing a region entry from the finite table loses its presence bits, so
+a subsequent lookup may predict "absent" for a block that is actually
+resident.  The :class:`~repro.caches.dram_cache.DRAMCache` double-checks such
+predictions against the tag array before trusting them, so displacement can
+cost latency/hit-rate but never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..memory.address import DEFAULT_LAYOUT, AddressLayout
+
+__all__ = ["RegionMissPredictor"]
+
+
+class RegionMissPredictor:
+    """Region-granularity presence predictor (MissMap) for the DRAM cache."""
+
+    def __init__(
+        self,
+        *,
+        entries: int = 4096,
+        region_size: int = 4096,
+        layout: Optional[AddressLayout] = None,
+    ) -> None:
+        self.layout = layout or DEFAULT_LAYOUT
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        if region_size <= 0 or region_size % self.layout.block_size:
+            raise ValueError("region_size must be a positive multiple of the block size")
+        self.entries = entries
+        self.region_size = region_size
+        self._blocks_per_region = region_size // self.layout.block_size
+        # region number -> bitmask of resident blocks, in LRU order.
+        self._table: "OrderedDict[int, int]" = OrderedDict()
+
+        self.lookups = 0
+        self.predicted_miss = 0
+        self.predicted_present = 0
+        self.untracked_lookups = 0
+        self.region_displacements = 0
+
+    # -- geometry -----------------------------------------------------------
+
+    def region_of_block(self, block: int) -> int:
+        """Return the region number containing block number ``block``."""
+        return (block * self.layout.block_size) // self.region_size
+
+    def _bit_of_block(self, block: int) -> int:
+        return 1 << (block % self._blocks_per_region)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _touch(self, region: int) -> None:
+        self._table.move_to_end(region)
+
+    def _allocate(self, region: int) -> None:
+        if region in self._table:
+            self._touch(region)
+            return
+        if len(self._table) >= self.entries:
+            _victim, bits = self._table.popitem(last=False)
+            if bits:
+                self.region_displacements += 1
+        self._table[region] = 0
+
+    def note_insert(self, block: int) -> None:
+        """Record that ``block`` was inserted into the DRAM cache."""
+        region = self.region_of_block(block)
+        self._allocate(region)
+        self._table[region] |= self._bit_of_block(block)
+        self._touch(region)
+
+    def note_evict(self, block: int) -> None:
+        """Record that ``block`` left the DRAM cache (eviction or invalidation)."""
+        region = self.region_of_block(block)
+        bits = self._table.get(region)
+        if bits is None:
+            return
+        self._table[region] = bits & ~self._bit_of_block(block)
+        self._touch(region)
+
+    # -- prediction ---------------------------------------------------------
+
+    def predicts_miss(self, block: int) -> bool:
+        """True when the predictor believes ``block`` is absent.
+
+        A ``True`` answer lets the caller skip the DRAM-cache array access.
+        The answer can be wrong only for blocks whose region entry was
+        displaced from the table (see the module docstring).
+        """
+        self.lookups += 1
+        region = self.region_of_block(block)
+        bits = self._table.get(region)
+        if bits is None:
+            self.untracked_lookups += 1
+            self.predicted_miss += 1
+            return True
+        self._touch(region)
+        if bits & self._bit_of_block(block):
+            self.predicted_present += 1
+            return False
+        self.predicted_miss += 1
+        return True
+
+    # -- statistics -----------------------------------------------------------
+
+    def tracked_regions(self) -> int:
+        """Number of regions currently tracked."""
+        return len(self._table)
+
+    def tracked_blocks(self) -> int:
+        """Number of presence bits currently set across all tracked regions."""
+        return sum(bin(bits).count("1") for bits in self._table.values())
+
+    def coverage(self) -> float:
+        """Fraction of lookups answered from a tracked region."""
+        if not self.lookups:
+            return 0.0
+        return 1.0 - self.untracked_lookups / self.lookups

@@ -1,0 +1,94 @@
+"""Replacement policies for the set-associative SRAM caches.
+
+The paper's on-chip caches use LRU; a couple of alternative policies are
+provided for ablation studies (random and FIFO).  A policy instance is shared
+by all sets of a cache; per-set recency state is carried on the
+:class:`~repro.caches.block.CacheLine` objects themselves (``last_use``) plus
+a monotonically increasing counter owned by the policy.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+from .block import CacheLine
+
+__all__ = ["ReplacementPolicy", "LRUPolicy", "FIFOPolicy", "RandomPolicy", "make_replacement_policy"]
+
+
+class ReplacementPolicy(ABC):
+    """Chooses a victim among the valid lines of a full set."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._tick = 0
+
+    def touch(self, line: CacheLine) -> None:
+        """Record a use of ``line`` (called on hits and on insertion)."""
+        self._tick += 1
+        line.last_use = self._tick
+
+    def on_insert(self, line: CacheLine) -> None:
+        """Record the insertion of a new line."""
+        self.touch(line)
+
+    @abstractmethod
+    def choose_victim(self, lines: List[CacheLine]) -> CacheLine:
+        """Return the line to evict from a full set (``lines`` is non-empty)."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least recently used line."""
+
+    name = "lru"
+
+    def choose_victim(self, lines: List[CacheLine]) -> CacheLine:
+        return min(lines, key=lambda line: line.last_use)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the line that was inserted first (insertion order only)."""
+
+    name = "fifo"
+
+    def touch(self, line: CacheLine) -> None:  # hits do not update recency
+        pass
+
+    def on_insert(self, line: CacheLine) -> None:
+        self._tick += 1
+        line.last_use = self._tick
+
+    def choose_victim(self, lines: List[CacheLine]) -> CacheLine:
+        return min(lines, key=lambda line: line.last_use)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random line (deterministic given the seed)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def choose_victim(self, lines: List[CacheLine]) -> CacheLine:
+        return self._rng.choice(lines)
+
+
+_POLICIES: Dict[str, type] = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_replacement_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Create a replacement policy by name (``lru``, ``fifo`` or ``random``)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown replacement policy {name!r}") from exc
+    return cls(**kwargs)

@@ -1,0 +1,194 @@
+"""Set-associative SRAM cache model used for the L1s and the LLC.
+
+The model is functional (hit/miss, MSI state, dirty bits, LRU) with latency
+left to the owning socket, which knows the configured tag/data latencies.
+It maintains the hit/miss/eviction statistics the experiments report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .block import CacheBlockState, CacheLine, EvictedLine
+from .replacement import LRUPolicy, ReplacementPolicy
+
+__all__ = ["SetAssociativeCache"]
+
+
+class SetAssociativeCache:
+    """A set-associative, write-back cache of 64-byte blocks.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total data capacity.
+    associativity:
+        Number of ways per set.
+    block_size:
+        Block size in bytes.
+    name:
+        Label used in statistics and error messages (e.g. ``"socket0.llc"``).
+    replacement:
+        Replacement policy instance; defaults to LRU.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        associativity: int,
+        *,
+        block_size: int = 64,
+        name: str = "cache",
+        replacement: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        if size_bytes <= 0 or associativity <= 0 or block_size <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        total_blocks = size_bytes // block_size
+        if total_blocks == 0:
+            raise ValueError(f"{name}: size {size_bytes} smaller than one block")
+        if total_blocks % associativity:
+            raise ValueError(
+                f"{name}: {total_blocks} blocks not divisible by associativity {associativity}"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.block_size = block_size
+        self.associativity = associativity
+        self.num_sets = total_blocks // associativity
+        self.replacement = replacement if replacement is not None else LRUPolicy()
+        self._sets: Dict[int, Dict[int, CacheLine]] = {}
+
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.invalidations = 0
+
+    # -- geometry -----------------------------------------------------------
+
+    def set_index(self, block: int) -> int:
+        """Return the set index of block number ``block``."""
+        return block % self.num_sets
+
+    def _set_for(self, block: int) -> Dict[int, CacheLine]:
+        return self._sets.setdefault(self.set_index(block), {})
+
+    # -- queries ------------------------------------------------------------
+
+    def contains(self, block: int) -> bool:
+        """True if ``block`` is resident (does not update recency or stats)."""
+        cache_set = self._sets.get(block % self.num_sets)
+        return cache_set is not None and block in cache_set
+
+    def peek(self, block: int) -> Optional[CacheLine]:
+        """Return the resident line for ``block`` without side effects."""
+        cache_set = self._sets.get(block % self.num_sets)
+        if cache_set is None:
+            return None
+        return cache_set.get(block)
+
+    def lookup(self, block: int) -> Optional[CacheLine]:
+        """Access ``block``: update recency and hit/miss statistics."""
+        line = self.peek(block)
+        if line is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.replacement.touch(line)
+        return line
+
+    # -- mutations ------------------------------------------------------------
+
+    def insert(
+        self,
+        block: int,
+        state: CacheBlockState = CacheBlockState.SHARED,
+        *,
+        dirty: bool = False,
+    ) -> Optional[EvictedLine]:
+        """Insert ``block`` (allocating on fill) and return any victim.
+
+        If the block is already resident its state/dirty bits are upgraded in
+        place and no victim is produced.
+        """
+        cache_set = self._set_for(block)
+        existing = cache_set.get(block)
+        if existing is not None:
+            existing.state = state
+            existing.dirty = existing.dirty or dirty
+            self.replacement.touch(existing)
+            return None
+
+        victim: Optional[EvictedLine] = None
+        if len(cache_set) >= self.associativity:
+            victim_line = self.replacement.choose_victim(list(cache_set.values()))
+            del cache_set[victim_line.block]
+            victim = EvictedLine(victim_line.block, victim_line.state, victim_line.dirty)
+            self.evictions += 1
+            if victim_line.dirty:
+                self.dirty_evictions += 1
+
+        line = CacheLine(block=block, state=state, dirty=dirty)
+        cache_set[block] = line
+        self.replacement.on_insert(line)
+        return victim
+
+    def invalidate(self, block: int) -> Optional[CacheLine]:
+        """Remove ``block`` and return the removed line (or ``None``)."""
+        cache_set = self._sets.get(self.set_index(block))
+        if not cache_set:
+            return None
+        line = cache_set.pop(block, None)
+        if line is not None:
+            self.invalidations += 1
+            return line
+        return None
+
+    def downgrade(self, block: int) -> Optional[CacheLine]:
+        """Transition ``block`` from MODIFIED to SHARED, returning the line."""
+        line = self.peek(block)
+        if line is None:
+            return None
+        line.state = CacheBlockState.SHARED
+        line.dirty = False
+        return line
+
+    def set_state(self, block: int, state: CacheBlockState, *, dirty: Optional[bool] = None) -> None:
+        """Overwrite the MSI state (and optionally the dirty bit) of a resident block."""
+        line = self.peek(block)
+        if line is None:
+            raise KeyError(f"{self.name}: block {block:#x} not resident")
+        line.state = state
+        if dirty is not None:
+            line.dirty = dirty
+
+    def clear(self) -> None:
+        """Drop all contents and reset statistics-independent state."""
+        self._sets.clear()
+
+    # -- statistics -----------------------------------------------------------
+
+    def occupancy(self) -> int:
+        """Number of resident blocks."""
+        return sum(len(cache_set) for cache_set in self._sets.values())
+
+    def resident_blocks(self) -> Iterator[int]:
+        """Iterate over the block numbers of all resident lines."""
+        for cache_set in self._sets.values():
+            yield from cache_set.keys()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Hit fraction over all lookups (0.0 when never accessed)."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache(name={self.name!r}, size={self.size_bytes}, "
+            f"ways={self.associativity}, sets={self.num_sets})"
+        )

@@ -1,0 +1,111 @@
+"""Command-line interface: run one simulation and print a report.
+
+Usage::
+
+    python -m repro --workload streamcluster --protocol c3d
+    python -m repro --workload facesim --protocol full-dir --sockets 2 \
+        --cores-per-socket 16 --scale 1024 --accesses 2000
+
+The CLI is a thin wrapper over the public API (``SystemConfig`` /
+``NumaSystem`` / ``Simulator``); it exists so that a single simulation can be
+launched and inspected without writing a script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .stats.amat import amat_breakdown
+from .system.config import PROTOCOL_NAMES, SystemConfig
+from .system.numa_system import NumaSystem
+from .system.simulator import Simulator
+from .workloads.registry import WORKLOAD_SPECS, make_workload
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulate one workload on the C3D reproduction's NUMA machine.",
+    )
+    parser.add_argument("--workload", default="streamcluster", choices=sorted(WORKLOAD_SPECS),
+                        help="benchmark to simulate")
+    parser.add_argument("--protocol", default="c3d", choices=list(PROTOCOL_NAMES),
+                        help="coherence design")
+    parser.add_argument("--sockets", type=int, default=4, help="number of sockets")
+    parser.add_argument("--cores-per-socket", type=int, default=8)
+    parser.add_argument("--scale", type=int, default=512,
+                        help="capacity/working-set scale factor (DESIGN.md §5)")
+    parser.add_argument("--accesses", type=int, default=2000,
+                        help="measured memory accesses per core")
+    parser.add_argument("--warmup", type=int, default=500,
+                        help="warm-up accesses per core (not measured)")
+    parser.add_argument("--policy", default="first_touch",
+                        choices=["interleave", "ft1", "ft2", "first_touch"],
+                        help="NUMA page-placement policy")
+    parser.add_argument("--no-prewarm", action="store_true",
+                        help="do not pre-load the DRAM caches before measuring")
+    parser.add_argument("--broadcast-filter", action="store_true",
+                        help="enable the section IV-D TLB broadcast filter (C3D only)")
+    parser.add_argument("--seed", type=int, default=None, help="workload RNG seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    base = SystemConfig.dual_socket if args.sockets == 2 else SystemConfig.quad_socket
+    config = base(
+        protocol=args.protocol,
+        num_sockets=args.sockets,
+        cores_per_socket=args.cores_per_socket,
+        allocation_policy=args.policy,
+        broadcast_filter=args.broadcast_filter,
+    ).scaled(args.scale)
+
+    system = NumaSystem(config)
+    workload = make_workload(
+        args.workload,
+        scale=args.scale,
+        accesses_per_thread=args.accesses + args.warmup,
+        num_threads=config.total_cores,
+        seed=args.seed,
+    )
+
+    print(f"machine  : {config.describe()}")
+    print(f"workload : {args.workload} ({workload.num_threads} threads)")
+    started = time.time()
+    result = Simulator(system, workload).run(
+        warmup_accesses_per_core=args.warmup,
+        prewarm=not args.no_prewarm,
+    )
+    elapsed = time.time() - started
+
+    stats = result.stats
+    print(f"\nsimulated {result.accesses_executed} accesses in {elapsed:.1f} s wall clock")
+    print(f"execution time (simulated) : {result.total_time_ns / 1000:.1f} us")
+    print(f"AMAT                       : {stats.amat_ns():.1f} ns")
+    print(f"L1 / LLC / DRAM$ hit rates : {stats.l1_hit_rate():.3f} / "
+          f"{stats.llc_hit_rate():.3f} / {stats.dram_cache_hit_rate():.3f}")
+    print(f"remote memory fraction     : {stats.remote_memory_fraction():.3f}")
+    print(f"inter-socket bytes         : {result.inter_socket_bytes}")
+    print(f"broadcasts / elided        : {stats.broadcasts} / {stats.broadcasts_elided}")
+    print()
+    print(amat_breakdown(stats).format())
+
+    violations = system.check_invariants()
+    if violations:
+        print("\nCOHERENCE INVARIANT VIOLATIONS:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("\ncoherence invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

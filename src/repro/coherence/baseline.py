@@ -1,0 +1,141 @@
+"""Baseline inter-socket coherence: directory-tracked LLCs, no DRAM caches.
+
+This is the paper's *baseline* design (section V-A): each socket's memory is
+kept coherent across sockets with a global directory that tracks which LLCs
+cache each block; there is no DRAM cache, so every LLC miss that cannot be
+served by a remote LLC goes to (possibly remote) main memory.
+"""
+
+from __future__ import annotations
+
+from .directory import DirectoryState
+from .messages import CoherenceRequestType, EvictionResult, MissResult, ServiceSource
+from .protocol_base import GlobalCoherenceProtocol
+
+__all__ = ["BaselineProtocol"]
+
+
+class BaselineProtocol(GlobalCoherenceProtocol):
+    """Directory MSI across sockets with no DRAM caches."""
+
+    name = "baseline"
+    uses_dram_cache = False
+    clean_dram_cache = False
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read_miss(self, now: float, requester: int, block: int) -> MissResult:
+        home = self.home_of(block)
+        directory = self.directories[home]
+
+        latency = self._request_to_home(now, requester, home)
+        latency += directory.latency_ns
+        self.stats.directory_lookups += 1
+        entry = directory.lookup(block)
+
+        if (
+            entry is not None
+            and entry.state is DirectoryState.MODIFIED
+            and entry.owner is not None
+            and entry.owner != requester
+        ):
+            owner = entry.owner
+            latency += self._fetch_from_remote_llc(
+                now + latency, home, owner, requester, block, downgrade=True
+            )
+            directory.set_shared(block, {owner, requester})
+            source = ServiceSource.REMOTE_LLC
+        else:
+            latency += self._memory_read(now + latency, home, block, requester)
+            latency += self._data_response(now + latency, home, requester)
+            self._directory_note_read_sharer(directory, block, requester)
+            source = self._memory_source(home, requester)
+
+        return MissResult(latency=latency, source=source, request_type=CoherenceRequestType.GETS)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def write_miss(
+        self,
+        now: float,
+        requester: int,
+        block: int,
+        *,
+        thread_id: int = 0,
+        has_shared_copy: bool = False,
+    ) -> MissResult:
+        home = self.home_of(block)
+        directory = self.directories[home]
+        request_type = (
+            CoherenceRequestType.UPGRADE if has_shared_copy else CoherenceRequestType.GETX
+        )
+
+        latency = self._request_to_home(now, requester, home)
+        latency += directory.latency_ns
+        self.stats.directory_lookups += 1
+        entry = directory.lookup(block)
+        invalidations = 0
+
+        if (
+            entry is not None
+            and entry.state is DirectoryState.MODIFIED
+            and entry.owner is not None
+            and entry.owner != requester
+        ):
+            owner = entry.owner
+            latency += self._fetch_from_remote_llc(
+                now + latency, home, owner, requester, block, downgrade=False
+            )
+            invalidations = 1
+            source = ServiceSource.REMOTE_LLC
+        else:
+            sharers = sorted(entry.sharers - {requester}) if entry is not None else []
+            invalidation_latency = 0.0
+            for target in sharers:
+                invalidation_latency = max(
+                    invalidation_latency,
+                    self._invalidate_remote_socket(
+                        now + latency, home, target, block, include_dram_cache=False
+                    ),
+                )
+                invalidations += 1
+            data_latency = 0.0
+            if has_shared_copy:
+                source = ServiceSource.LLC
+            else:
+                data_latency = self._memory_read(now + latency, home, block, requester)
+                data_latency += self._data_response(now + latency + data_latency, home, requester)
+                source = self._memory_source(home, requester)
+            latency += max(invalidation_latency, data_latency)
+
+        directory.set_modified(block, requester)
+        if has_shared_copy:
+            self.stats.upgrades += 1
+        return MissResult(
+            latency=latency,
+            source=source,
+            request_type=request_type,
+            invalidations=invalidations,
+        )
+
+    # ------------------------------------------------------------------
+    # Evictions
+    # ------------------------------------------------------------------
+
+    def llc_eviction(
+        self, now: float, requester: int, block: int, *, dirty: bool
+    ) -> EvictionResult:
+        result = EvictionResult()
+        home = self.home_of(block)
+        directory = self.directories[home]
+        if dirty:
+            result.latency = self._memory_write(now, home, block, requester)
+            result.wrote_memory = True
+            directory.invalidate(block)
+        # Clean (Shared) evictions are silent: the sharing vector becomes a
+        # stale superset, which is still a valid over-approximation.
+        return result

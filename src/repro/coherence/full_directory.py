@@ -1,0 +1,245 @@
+"""Inclusive full-directory coherent DRAM caches (the naive design of
+section III-B, evaluated as *full-dir*).
+
+The global directory is extended to track every block resident in any DRAM
+cache, in addition to the on-chip caches.  The paper models this directory
+optimistically: no capacity recalls and the same 10-cycle access latency as
+the baseline directory, despite the enormous storage it would require (the
+:class:`~repro.coherence.directory.DirectoryCostModel` reproduces that
+storage arithmetic).
+
+DRAM caches are dirty: a modified LLC victim is absorbed by the local DRAM
+cache without a memory write-back, so a later read from another socket must
+be forwarded to the owner and served by its slow DRAM cache -- the "modified
+block in a remote DRAM cache" pathology of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from .directory import DirectoryState
+from .messages import CoherenceRequestType, EvictionResult, MissResult, ServiceSource
+from .protocol_base import GlobalCoherenceProtocol
+
+__all__ = ["FullDirectoryProtocol"]
+
+
+class FullDirectoryProtocol(GlobalCoherenceProtocol):
+    """Inclusive directory tracking LLC and DRAM-cache contents; dirty DRAM caches."""
+
+    name = "full-dir"
+    uses_dram_cache = True
+    clean_dram_cache = False
+    tracks_dram_cache_in_directory = True
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read_miss(self, now: float, requester: int, block: int) -> MissResult:
+        hit, local_latency, _dirty = self._probe_local_dram_cache(now, requester, block)
+        if hit:
+            # The directory continues to track the requester (it already did,
+            # by inclusivity), so no global transaction is needed.
+            return MissResult(
+                latency=local_latency,
+                source=ServiceSource.LOCAL_DRAM_CACHE,
+                request_type=CoherenceRequestType.GETS,
+            )
+
+        home = self.home_of(block)
+        directory = self.directories[home]
+        latency = local_latency
+        latency += self._request_to_home(now + latency, requester, home)
+        latency += directory.latency_ns
+        self.stats.directory_lookups += 1
+        entry = directory.lookup(block)
+
+        if (
+            entry is not None
+            and entry.state is DirectoryState.MODIFIED
+            and entry.owner is not None
+            and entry.owner != requester
+        ):
+            owner = entry.owner
+            latency += self._fetch_from_owner_any_level(
+                now + latency, home, owner, requester, block
+            )
+            owner_socket = self.socket(owner)
+            source = (
+                ServiceSource.REMOTE_LLC
+                if owner_socket.llc.contains(block)
+                else ServiceSource.REMOTE_DRAM_CACHE
+            )
+            directory.set_shared(block, {owner, requester})
+        else:
+            latency += self._memory_read(now + latency, home, block, requester)
+            latency += self._data_response(now + latency, home, requester)
+            self._directory_note_read_sharer(directory, block, requester)
+            source = self._memory_source(home, requester)
+
+        return MissResult(latency=latency, source=source, request_type=CoherenceRequestType.GETS)
+
+    def _fetch_from_owner_any_level(
+        self, now: float, home: int, owner: int, requester: int, block: int
+    ) -> float:
+        """Forward a read to the owner socket; serve from its LLC or DRAM cache.
+
+        The owner keeps a Shared (clean) copy and its dirty data is written
+        back to the home memory so that the Shared invariant (memory not
+        stale) holds afterwards.
+        """
+        from ..interconnect.packet import MessageClass
+
+        owner_socket = self.socket(owner)
+        forward = self._send(now, home, owner, MessageClass.FORWARD)
+        if owner_socket.llc.contains(block):
+            probe = owner_socket.llc_latency_ns
+            was_dirty = owner_socket.downgrade_block(block)
+            self.stats.downgrades += 1
+        else:
+            # The dirty copy lives in the owner's DRAM cache (Fig. 4 path).
+            probe = owner_socket.dram_cache_latency_ns
+            line = (
+                owner_socket.dram_cache.peek(block)
+                if owner_socket.dram_cache is not None
+                else None
+            )
+            was_dirty = bool(line is not None and line.dirty)
+            if owner_socket.dram_cache is not None and line is not None:
+                owner_socket.dram_cache.mark_clean(block)
+        if was_dirty:
+            self._memory_write(now + forward + probe, home, block, owner)
+        response = self._data_response(now + forward + probe, owner, requester)
+        return forward + probe + response
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def write_miss(
+        self,
+        now: float,
+        requester: int,
+        block: int,
+        *,
+        thread_id: int = 0,
+        has_shared_copy: bool = False,
+    ) -> MissResult:
+        request_type = (
+            CoherenceRequestType.UPGRADE if has_shared_copy else CoherenceRequestType.GETX
+        )
+        local_hit = False
+        local_latency = 0.0
+        if not has_shared_copy:
+            local_hit, local_latency, _ = self._probe_local_dram_cache(now, requester, block)
+
+        home = self.home_of(block)
+        directory = self.directories[home]
+        latency = local_latency
+        latency += self._request_to_home(now + latency, requester, home)
+        latency += directory.latency_ns
+        self.stats.directory_lookups += 1
+        entry = directory.lookup(block)
+        invalidations = 0
+
+        if (
+            entry is not None
+            and entry.state is DirectoryState.MODIFIED
+            and entry.owner is not None
+            and entry.owner != requester
+        ):
+            owner = entry.owner
+            owner_socket = self.socket(owner)
+            source = (
+                ServiceSource.REMOTE_LLC
+                if owner_socket.llc.contains(block)
+                else ServiceSource.REMOTE_DRAM_CACHE
+            )
+            latency += self._invalidate_remote_socket(
+                now + latency, home, owner, block, include_dram_cache=True
+            )
+            latency += self._data_response(now + latency, owner, requester)
+            invalidations = 1
+        else:
+            sharers = sorted(entry.sharers - {requester}) if entry is not None else []
+            invalidation_latency = 0.0
+            for target in sharers:
+                invalidation_latency = max(
+                    invalidation_latency,
+                    self._invalidate_remote_socket(
+                        now + latency, home, target, block, include_dram_cache=True
+                    ),
+                )
+                invalidations += 1
+            data_latency = 0.0
+            if has_shared_copy:
+                source = ServiceSource.LLC
+            elif local_hit:
+                source = ServiceSource.LOCAL_DRAM_CACHE
+            else:
+                data_latency = self._memory_read(now + latency, home, block, requester)
+                data_latency += self._data_response(now + latency + data_latency, home, requester)
+                source = self._memory_source(home, requester)
+            latency += max(invalidation_latency, data_latency)
+
+        directory.set_modified(block, requester)
+        if has_shared_copy:
+            self.stats.upgrades += 1
+        return MissResult(
+            latency=latency,
+            source=source,
+            request_type=request_type,
+            invalidations=invalidations,
+        )
+
+    # ------------------------------------------------------------------
+    # Evictions
+    # ------------------------------------------------------------------
+
+    def llc_eviction(
+        self, now: float, requester: int, block: int, *, dirty: bool
+    ) -> EvictionResult:
+        result = EvictionResult()
+        sock = self.socket(requester)
+        if sock.dram_cache is None:
+            if dirty:
+                home = self.home_of(block)
+                result.latency = self._memory_write(now, home, block, requester)
+                result.wrote_memory = True
+                self.directories[home].invalidate(block)
+            return result
+
+        # The victim (dirty or clean) is absorbed by the local DRAM cache; the
+        # directory keeps tracking the block at this socket (inclusive of the
+        # DRAM cache), so no directory transition happens here.
+        self._insert_into_dram_cache(now, requester, block, dirty=dirty)
+        result.inserted_in_dram_cache = True
+        return result
+
+    # ------------------------------------------------------------------
+    # DRAM-cache eviction hooks (directory bookkeeping)
+    # ------------------------------------------------------------------
+
+    def _on_dram_cache_dirty_victim(self, block: int, socket_id: int) -> None:
+        from ..caches.block import CacheBlockState
+
+        directory = self.directory_for(block)
+        entry = directory.peek(block)
+        if entry is None:
+            return
+        llc_line = self.socket(socket_id).llc.peek(block)
+        if entry.state is DirectoryState.MODIFIED and entry.owner == socket_id:
+            if llc_line is None:
+                # The written-back data was the only copy: stop tracking.
+                directory.invalidate(block)
+            elif llc_line.state is not CacheBlockState.MODIFIED:
+                # A clean, current on-chip copy remains: downgrade to Shared.
+                directory.set_shared(block, {socket_id})
+            # If the LLC still holds the block Modified, the DRAM victim was
+            # an older value and the entry must stay Modified.
+        elif llc_line is None:
+            directory.remove_sharer(block, socket_id)
+
+    def _on_dram_cache_clean_victim(self, block: int, socket_id: int) -> None:
+        if not self.socket(socket_id).llc.contains(block):
+            self.directory_for(block).remove_sharer(block, socket_id)

@@ -1,0 +1,101 @@
+"""Local (intra-socket) directory.
+
+Table II: "Local Directory -- 7-cycle, embedded in L2, full sharing vector".
+Within a socket the LLC is inclusive of the per-core L1s, and the local
+directory records which cores hold each LLC-resident block and which core (if
+any) owns it in Modified state.  The socket uses it to invalidate peer L1
+copies on writes and to source data from a peer L1 that holds the block
+modified (avoiding an LLC data access).
+
+The local directory settings are identical in all evaluated designs, so it is
+part of the coherence substrate rather than of any particular protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+__all__ = ["LocalDirectoryEntry", "LocalDirectory"]
+
+
+@dataclass
+class LocalDirectoryEntry:
+    """Per-block record of which cores cache the block inside a socket."""
+
+    block: int
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None  # core holding the block Modified, if any
+
+
+class LocalDirectory:
+    """Tracks L1 residency for every block held in the socket's LLC."""
+
+    def __init__(self, *, latency_ns: float = 7 / 3.0, name: str = "local_directory") -> None:
+        self.latency_ns = latency_ns
+        self.name = name
+        self._entries: Dict[int, LocalDirectoryEntry] = {}
+
+        self.lookups = 0
+        self.peer_interventions = 0
+        self.peer_invalidations = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def lookup(self, block: int) -> Optional[LocalDirectoryEntry]:
+        """Return the entry for ``block`` (None when no core caches it)."""
+        self.lookups += 1
+        return self._entries.get(block)
+
+    def peek(self, block: int) -> Optional[LocalDirectoryEntry]:
+        return self._entries.get(block)
+
+    def sharers_of(self, block: int) -> Set[int]:
+        entry = self._entries.get(block)
+        return set(entry.sharers) if entry else set()
+
+    def owner_of(self, block: int) -> Optional[int]:
+        entry = self._entries.get(block)
+        return entry.owner if entry else None
+
+    # -- updates --------------------------------------------------------------
+
+    def record_fill(self, block: int, core: int, *, modified: bool = False) -> None:
+        """Record that ``core`` now holds ``block`` in its L1."""
+        entry = self._entries.setdefault(block, LocalDirectoryEntry(block=block))
+        entry.sharers.add(core)
+        if modified:
+            entry.owner = core
+        elif entry.owner == core:
+            entry.owner = None
+
+    def record_write(self, block: int, core: int) -> Set[int]:
+        """Record a write by ``core``; returns the peer cores to invalidate."""
+        entry = self._entries.setdefault(block, LocalDirectoryEntry(block=block))
+        peers = {c for c in entry.sharers if c != core}
+        if peers:
+            self.peer_invalidations += len(peers)
+        entry.sharers = {core}
+        entry.owner = core
+        return peers
+
+    def record_eviction(self, block: int, core: int) -> None:
+        """Record that ``core`` dropped its L1 copy of ``block``."""
+        entry = self._entries.get(block)
+        if entry is None:
+            return
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = None
+        if not entry.sharers:
+            del self._entries[block]
+
+    def invalidate_block(self, block: int) -> Set[int]:
+        """Drop all L1 residency info for ``block``; returns the cores affected."""
+        entry = self._entries.pop(block, None)
+        if entry is None:
+            return set()
+        return set(entry.sharers)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,99 @@
+"""Coherence transaction vocabulary shared by all protocol implementations.
+
+The paper's protocol (Fig. 5) is expressed in terms of GetS / GetX / Upgrade
+requests and PutX write-backs exchanged between the LLC, the DRAM-cache
+controller and the global directory.  This module defines those request
+types, plus the result record a protocol returns to the socket when it
+services an LLC miss.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["CoherenceRequestType", "ServiceSource", "MissResult"]
+
+
+class CoherenceRequestType(enum.Enum):
+    """Request types from Fig. 5 of the paper."""
+
+    GETS = "GetS"        # read request
+    GETX = "GetX"        # write request (requester lacks the data)
+    UPGRADE = "Upgrade"  # write request, requester already holds the data in Shared
+    PUTX = "PutX"        # write-back of modified data
+
+    @property
+    def is_write(self) -> bool:
+        return self in (CoherenceRequestType.GETX, CoherenceRequestType.UPGRADE)
+
+
+class ServiceSource(enum.Enum):
+    """Where a request was ultimately served from (for AMAT breakdowns)."""
+
+    L1 = "l1"
+    LOCAL_L1_PEER = "local_l1_peer"
+    LLC = "llc"
+    LOCAL_DRAM_CACHE = "local_dram_cache"
+    LOCAL_MEMORY = "local_memory"
+    REMOTE_LLC = "remote_llc"
+    REMOTE_DRAM_CACHE = "remote_dram_cache"
+    REMOTE_MEMORY = "remote_memory"
+    STORE_BUFFER = "store_buffer"
+
+    @property
+    def is_off_socket(self) -> bool:
+        return self in (
+            ServiceSource.REMOTE_LLC,
+            ServiceSource.REMOTE_DRAM_CACHE,
+            ServiceSource.REMOTE_MEMORY,
+        )
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (ServiceSource.LOCAL_MEMORY, ServiceSource.REMOTE_MEMORY)
+
+
+@dataclass
+class MissResult:
+    """Outcome of a globally serviced LLC miss (or permission upgrade).
+
+    Attributes
+    ----------
+    latency:
+        Critical-path latency of the transaction in nanoseconds, measured
+        from the moment the LLC miss is presented to the protocol.
+    source:
+        Where the data (or write permission) came from.
+    request_type:
+        The coherence request that was performed.
+    invalidations:
+        Number of directed invalidation messages sent.
+    used_broadcast:
+        True when the transaction had to broadcast invalidations
+        (C3D write to an untracked block).
+    notes:
+        Optional free-form tags used by tests and ablations.
+    """
+
+    latency: float
+    source: ServiceSource
+    request_type: CoherenceRequestType
+    invalidations: int = 0
+    used_broadcast: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def off_socket(self) -> bool:
+        return self.source.is_off_socket
+
+
+@dataclass
+class EvictionResult:
+    """Outcome of handing an LLC victim to the protocol."""
+
+    wrote_memory: bool = False
+    inserted_in_dram_cache: bool = False
+    latency: float = 0.0
+    source_note: Optional[str] = None

@@ -1,0 +1,337 @@
+"""Abstract base class and shared machinery for the global coherence protocols.
+
+Five concrete designs are evaluated in the paper, all implemented as
+subclasses of :class:`GlobalCoherenceProtocol`:
+
+==============================  ==========================================
+class                           paper name
+==============================  ==========================================
+``BaselineProtocol``            baseline (no DRAM cache)
+``SnoopyProtocol``              snoopy
+``FullDirectoryProtocol``       full-dir
+``C3DProtocol``                 c3d                  (``repro.core``)
+``C3DFullDirectoryProtocol``    c3d-full-dir         (``repro.core``)
+==============================  ==========================================
+
+A protocol is invoked by a :class:`~repro.system.socket.Socket` in three
+situations:
+
+* :meth:`read_miss` -- a demand read missed in the socket's on-chip hierarchy;
+* :meth:`write_miss` -- a store needs Modified permission it does not have
+  (covering both write misses and S->M upgrades);
+* :meth:`llc_eviction` -- the LLC displaced a block and the victim must be
+  handled (write-back, DRAM-cache insertion, directory update).
+
+All latencies are in nanoseconds and describe the critical path of the
+transaction as seen by the requesting socket.  Traffic and memory accesses
+are accounted on the shared :class:`~repro.stats.counters.SimulationStats`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..caches.block import CacheBlockState
+from ..interconnect.packet import MessageClass
+from .directory import DirectoryState, GlobalDirectory
+from .messages import CoherenceRequestType, EvictionResult, MissResult, ServiceSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for type checkers only
+    from ..system.numa_system import NumaSystem
+    from ..system.socket import Socket
+
+__all__ = ["GlobalCoherenceProtocol"]
+
+
+class GlobalCoherenceProtocol(ABC):
+    """Common machinery shared by all inter-socket coherence designs."""
+
+    #: Paper name of the design (used by the experiment harness).
+    name: str = "abstract"
+    #: Whether the design deploys per-socket DRAM caches.
+    uses_dram_cache: bool = True
+    #: Whether the DRAM caches are kept clean (write-through w.r.t. memory).
+    clean_dram_cache: bool = False
+    #: Whether the global directory tracks blocks resident only in DRAM caches
+    #: (the inclusive full-dir designs).  Used e.g. by the pre-warm facility to
+    #: keep the directory consistent with pre-loaded DRAM-cache contents.
+    tracks_dram_cache_in_directory: bool = False
+
+    def __init__(self, system: "NumaSystem") -> None:
+        self.system = system
+        self.sockets: List["Socket"] = system.sockets
+        self.interconnect = system.interconnect
+        self.mapper = system.mapper
+        self.directories: List[GlobalDirectory] = system.directories
+
+    @property
+    def stats(self):
+        """The system-wide statistics object (swappable for warm-up resets)."""
+        return self.system.stats
+
+    # ------------------------------------------------------------------
+    # Abstract entry points
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def read_miss(self, now: float, requester: int, block: int) -> MissResult:
+        """Service a demand read that missed the requester's on-chip hierarchy."""
+
+    @abstractmethod
+    def write_miss(
+        self,
+        now: float,
+        requester: int,
+        block: int,
+        *,
+        thread_id: int = 0,
+        has_shared_copy: bool = False,
+    ) -> MissResult:
+        """Obtain Modified permission (and data if needed) for a store."""
+
+    @abstractmethod
+    def llc_eviction(self, now: float, requester: int, block: int, *, dirty: bool) -> EvictionResult:
+        """Handle an LLC victim produced by the requester socket."""
+
+    # ------------------------------------------------------------------
+    # Address / component helpers
+    # ------------------------------------------------------------------
+
+    def home_of(self, block: int) -> int:
+        """Home socket of a block (where its memory and directory slice live)."""
+        return self.mapper.home_of_block(block)
+
+    def directory_for(self, block: int) -> GlobalDirectory:
+        """Directory slice responsible for ``block``."""
+        return self.directories[self.home_of(block)]
+
+    def socket(self, socket_id: int) -> "Socket":
+        return self.sockets[socket_id]
+
+    @property
+    def num_sockets(self) -> int:
+        return len(self.sockets)
+
+    # ------------------------------------------------------------------
+    # Interconnect helpers
+    # ------------------------------------------------------------------
+
+    def _send(self, now: float, src: int, dst: int, message_class: MessageClass) -> float:
+        """Send one message; returns its latency (0 for same-socket)."""
+        return self.interconnect.send(now, src, dst, message_class)
+
+    def _request_to_home(self, now: float, requester: int, home: int) -> float:
+        """Carry the coherence request from the requester to the home socket."""
+        return self._send(now, requester, home, MessageClass.REQUEST)
+
+    def _data_response(self, now: float, src: int, dst: int) -> float:
+        """Send a data-carrying response."""
+        return self._send(now, src, dst, MessageClass.DATA_RESPONSE)
+
+    # ------------------------------------------------------------------
+    # Memory helpers
+    # ------------------------------------------------------------------
+
+    def _memory_read(self, now: float, home: int, block: int, requester: int) -> float:
+        """Read ``block`` from its home memory; returns the memory latency.
+
+        Also classifies the access as local or remote relative to the
+        requesting socket for the Table I / Fig. 8 statistics.
+        """
+        result = self.socket(home).memory.read(now, block)
+        if home == requester:
+            self.stats.memory_reads_local += 1
+        else:
+            self.stats.memory_reads_remote += 1
+        return result.latency
+
+    def _memory_write(self, now: float, home: int, block: int, requester: int) -> float:
+        """Write ``block`` back to its home memory (includes the data transfer).
+
+        Returns the total latency, which callers normally keep off the
+        requester's critical path.
+        """
+        transfer = self._send(now, requester, home, MessageClass.WRITEBACK)
+        result = self.socket(home).memory.write(now + transfer, block)
+        if home == requester:
+            self.stats.memory_writes_local += 1
+        else:
+            self.stats.memory_writes_remote += 1
+        self.stats.writebacks += 1
+        return transfer + result.latency
+
+    # ------------------------------------------------------------------
+    # DRAM-cache helpers
+    # ------------------------------------------------------------------
+
+    def _probe_local_dram_cache(
+        self, now: float, requester: int, block: int
+    ) -> Tuple[bool, float, bool]:
+        """Probe the requester's own DRAM cache.
+
+        Returns ``(hit, latency, dirty)``.  The latency charges the miss
+        predictor and, unless the predictor confidently predicted a miss, the
+        DRAM array access.
+        """
+        sock = self.socket(requester)
+        if sock.dram_cache is None:
+            return False, 0.0, False
+        latency = sock.dram_predictor_latency_ns
+        probe = sock.dram_cache.probe(block)
+        if probe.array_accessed:
+            latency += sock.dram_cache_latency_ns
+        if probe.hit:
+            self.stats.dram_cache_hits += 1
+        else:
+            self.stats.dram_cache_misses += 1
+        return probe.hit, latency, probe.dirty
+
+    def _dram_cache_contains(self, socket_id: int, block: int) -> bool:
+        sock = self.socket(socket_id)
+        return sock.dram_cache is not None and sock.dram_cache.contains(block)
+
+    def _insert_into_dram_cache(self, now: float, socket_id: int, block: int, *, dirty: bool) -> None:
+        """Insert an LLC victim into the socket's DRAM cache and handle its victim."""
+        sock = self.socket(socket_id)
+        if sock.dram_cache is None:
+            return
+        victim = sock.dram_cache.insert(block, dirty=dirty)
+        if victim is not None and victim.dirty:
+            # A dirty DRAM-cache victim must reach its home memory
+            # (only possible in the non-clean designs).
+            victim_home = self.home_of(victim.block)
+            self._memory_write(now, victim_home, victim.block, socket_id)
+            self._on_dram_cache_dirty_victim(victim.block, socket_id)
+        elif victim is not None:
+            self._on_dram_cache_clean_victim(victim.block, socket_id)
+
+    def _on_dram_cache_dirty_victim(self, block: int, socket_id: int) -> None:
+        """Directory bookkeeping hook for a dirty DRAM-cache eviction."""
+
+    def _on_dram_cache_clean_victim(self, block: int, socket_id: int) -> None:
+        """Directory bookkeeping hook for a clean DRAM-cache eviction."""
+
+    # ------------------------------------------------------------------
+    # Remote-socket probe / invalidation helpers
+    # ------------------------------------------------------------------
+
+    def _fetch_from_remote_llc(
+        self,
+        now: float,
+        home: int,
+        owner: int,
+        requester: int,
+        block: int,
+        *,
+        downgrade: bool,
+    ) -> float:
+        """Home forwards the request to the owner's LLC; owner sends the data.
+
+        With ``downgrade`` the owner keeps a Shared copy and its dirty data is
+        written through to the home memory (so that memory is not stale, which
+        the Shared state requires); otherwise the owner invalidates its copy.
+        Returns the critical-path latency from the moment the home decided to
+        forward.
+        """
+        owner_socket = self.socket(owner)
+        forward = self._send(now, home, owner, MessageClass.FORWARD)
+        probe = owner_socket.llc_latency_ns
+        if downgrade:
+            was_dirty = owner_socket.downgrade_block(block)
+            self.stats.downgrades += 1
+            if was_dirty:
+                self._memory_write(now + forward + probe, home, block, owner)
+        else:
+            owner_socket.invalidate_onchip(block)
+            self.stats.invalidations_sent += 1
+        response = self._data_response(now + forward + probe, owner, requester)
+        return forward + probe + response
+
+    def _invalidate_remote_socket(
+        self,
+        now: float,
+        home: int,
+        target: int,
+        block: int,
+        *,
+        include_dram_cache: bool,
+        message_class: MessageClass = MessageClass.INVALIDATION,
+    ) -> float:
+        """Invalidate every copy of ``block`` at ``target``; returns round-trip latency."""
+        target_socket = self.socket(target)
+        out = self._send(now, home, target, message_class)
+        probe = 0.0
+        if include_dram_cache and target_socket.dram_cache is not None:
+            target_socket.dram_cache.invalidate(block)
+            probe = max(probe, target_socket.dram_cache_latency_ns)
+        if target_socket.llc.contains(block):
+            probe = max(probe, target_socket.llc_latency_ns)
+        target_socket.invalidate_onchip(block)
+        ack = self._send(now + out + probe, target, home, MessageClass.ACK)
+        self.stats.invalidations_sent += 1
+        return out + probe + ack
+
+    def _sockets_with_onchip_copy(self, block: int, exclude: Optional[int] = None) -> List[int]:
+        """Sockets whose LLC currently holds ``block``."""
+        holders = []
+        for sock in self.sockets:
+            if exclude is not None and sock.socket_id == exclude:
+                continue
+            if sock.llc.contains(block):
+                holders.append(sock.socket_id)
+        return holders
+
+    def _sockets_with_any_copy(self, block: int, exclude: Optional[int] = None) -> List[int]:
+        """Sockets holding ``block`` in their LLC or DRAM cache."""
+        holders = []
+        for sock in self.sockets:
+            if exclude is not None and sock.socket_id == exclude:
+                continue
+            if sock.llc.contains(block) or (
+                sock.dram_cache is not None and sock.dram_cache.contains(block)
+            ):
+                holders.append(sock.socket_id)
+        return holders
+
+    def _directory_note_read_sharer(self, directory: GlobalDirectory, block: int,
+                                    requester: int) -> None:
+        """Record ``requester`` as a sharer after a read served by memory.
+
+        Handles the (defensive) case of a stale Modified entry by degrading
+        it to Shared rather than violating the directory's M-state invariant.
+        """
+        entry = directory.peek(block)
+        if entry is not None and entry.state is DirectoryState.MODIFIED:
+            directory.set_shared(block, set(entry.sharers) | {requester})
+        else:
+            directory.add_sharer(block, requester)
+
+    # ------------------------------------------------------------------
+    # Classification of sources
+    # ------------------------------------------------------------------
+
+    def _memory_source(self, home: int, requester: int) -> ServiceSource:
+        if home == requester:
+            return ServiceSource.LOCAL_MEMORY
+        return ServiceSource.REMOTE_MEMORY
+
+    # ------------------------------------------------------------------
+    # Fill bookkeeping shared by subclasses
+    # ------------------------------------------------------------------
+
+    def _register_llc_fill(self, requester: int, block: int, *, modified: bool) -> None:
+        """Hook invoked by the socket after it installs the fill into its LLC.
+
+        Subclasses that track on-chip residency (all directory designs) do
+        their sharer/owner bookkeeping in :meth:`read_miss`/:meth:`write_miss`
+        directly; this hook exists for designs that need to observe the fill
+        itself (currently none), and for tests.
+        """
+
+    def describe(self) -> str:
+        """One-line human-readable description of the design."""
+        dram = "no DRAM cache" if not self.uses_dram_cache else (
+            "clean DRAM cache" if self.clean_dram_cache else "dirty DRAM cache"
+        )
+        return f"{self.name} ({dram})"

@@ -1,0 +1,224 @@
+"""Snoopy coherent DRAM caches (the naive design of section III-A).
+
+Every local DRAM-cache miss is broadcast to all remote sockets.  A remote
+socket consults its snoop filter (the baseline's global directory structure,
+repurposed as a per-socket block-level filter) and, when it may have the
+block, probes its LLC or DRAM cache before responding.  Main memory is
+accessed *in parallel* with the snoops so that a miss everywhere does not
+serialise behind them, but the transaction cannot complete before the slowest
+snoop response -- this is exactly the "slow remote hit" pathology (the
+furthest socket's DRAM-cache latency lands on the critical path).
+
+DRAM caches are dirty (they absorb modified LLC victims), so a snoop that
+finds a dirty copy must source data from the remote DRAM cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..caches.block import CacheBlockState
+from ..interconnect.packet import MessageClass
+from .messages import CoherenceRequestType, EvictionResult, MissResult, ServiceSource
+from .protocol_base import GlobalCoherenceProtocol
+
+__all__ = ["SnoopyProtocol"]
+
+
+class SnoopyProtocol(GlobalCoherenceProtocol):
+    """Broadcast snooping over private, dirty DRAM caches."""
+
+    name = "snoopy"
+    uses_dram_cache = True
+    clean_dram_cache = False
+
+    # ------------------------------------------------------------------
+    # Snoop machinery
+    # ------------------------------------------------------------------
+
+    def _snoop_socket(
+        self,
+        now: float,
+        requester: int,
+        target: int,
+        block: int,
+        *,
+        invalidate: bool,
+    ) -> Tuple[float, Optional[ServiceSource]]:
+        """Snoop one remote socket.
+
+        Returns ``(latency, data_source)`` where ``data_source`` is non-None
+        when the target supplied (dirty) data.  ``invalidate`` selects the
+        write-snoop behaviour (all copies at the target are invalidated).
+        """
+        target_socket = self.socket(target)
+        home = self.home_of(block)
+        out = self._send(now, requester, target, MessageClass.SNOOP)
+        # The snoop filter (the baseline's directory structure) only covers
+        # the on-chip caches -- it cannot possibly track the GB-scale DRAM
+        # cache, which is the whole storage problem of section III.  Every
+        # snoop therefore probes the DRAM-cache array, and that latency is on
+        # the critical path of the requester's miss.
+        probe = target_socket.snoop_filter_latency_ns
+        if target_socket.dram_cache is not None:
+            probe += target_socket.dram_cache_latency_ns
+        data_source: Optional[ServiceSource] = None
+
+        llc_line = target_socket.llc.peek(block)
+        dram_line = (
+            target_socket.dram_cache.peek(block)
+            if target_socket.dram_cache is not None
+            else None
+        )
+
+        if llc_line is not None:
+            probe += target_socket.llc_latency_ns
+            if llc_line.state is CacheBlockState.MODIFIED:
+                data_source = ServiceSource.REMOTE_LLC
+                if invalidate:
+                    target_socket.invalidate_onchip(block)
+                else:
+                    target_socket.downgrade_block(block)
+                    self.stats.downgrades += 1
+                    self._memory_write(now + out + probe, home, block, target)
+            elif invalidate:
+                target_socket.invalidate_onchip(block)
+        elif dram_line is not None:
+            if dram_line.dirty:
+                data_source = ServiceSource.REMOTE_DRAM_CACHE
+                if not invalidate:
+                    # Keep a clean copy and make memory valid again.
+                    target_socket.dram_cache.mark_clean(block)
+                    self._memory_write(now + out + probe, home, block, target)
+
+        if invalidate:
+            if dram_line is not None and target_socket.dram_cache is not None:
+                target_socket.dram_cache.invalidate(block)
+            target_socket.invalidate_onchip(block)
+            self.stats.invalidations_sent += 1
+
+        response_class = (
+            MessageClass.DATA_RESPONSE if data_source is not None else MessageClass.ACK
+        )
+        back = self._send(now + out + probe, target, requester, response_class)
+        return out + probe + back, data_source
+
+    def _memory_path(self, now: float, requester: int, block: int) -> float:
+        """Latency of the memory access issued in parallel with the snoops."""
+        home = self.home_of(block)
+        latency = self._request_to_home(now, requester, home)
+        latency += self._memory_read(now + latency, home, block, requester)
+        latency += self._data_response(now + latency, home, requester)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read_miss(self, now: float, requester: int, block: int) -> MissResult:
+        hit, local_latency, _dirty = self._probe_local_dram_cache(now, requester, block)
+        if hit:
+            return MissResult(
+                latency=local_latency,
+                source=ServiceSource.LOCAL_DRAM_CACHE,
+                request_type=CoherenceRequestType.GETS,
+            )
+
+        home = self.home_of(block)
+        start = now + local_latency
+        memory_latency = self._memory_path(start, requester, block)
+
+        snoop_latency = 0.0
+        data_source: Optional[ServiceSource] = None
+        for target in range(self.num_sockets):
+            if target == requester:
+                continue
+            latency, source = self._snoop_socket(
+                start, requester, target, block, invalidate=False
+            )
+            snoop_latency = max(snoop_latency, latency)
+            if source is not None:
+                data_source = source
+
+        total = local_latency + max(memory_latency, snoop_latency)
+        source = data_source if data_source is not None else self._memory_source(home, requester)
+        return MissResult(
+            latency=total, source=source, request_type=CoherenceRequestType.GETS
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def write_miss(
+        self,
+        now: float,
+        requester: int,
+        block: int,
+        *,
+        thread_id: int = 0,
+        has_shared_copy: bool = False,
+    ) -> MissResult:
+        request_type = (
+            CoherenceRequestType.UPGRADE if has_shared_copy else CoherenceRequestType.GETX
+        )
+        local_hit = False
+        local_latency = 0.0
+        if not has_shared_copy:
+            local_hit, local_latency, _ = self._probe_local_dram_cache(now, requester, block)
+
+        home = self.home_of(block)
+        start = now + local_latency
+
+        snoop_latency = 0.0
+        data_source: Optional[ServiceSource] = None
+        invalidations = 0
+        for target in range(self.num_sockets):
+            if target == requester:
+                continue
+            latency, source = self._snoop_socket(
+                start, requester, target, block, invalidate=True
+            )
+            invalidations += 1
+            snoop_latency = max(snoop_latency, latency)
+            if source is not None:
+                data_source = source
+
+        memory_latency = 0.0
+        if has_shared_copy or local_hit:
+            source = ServiceSource.LOCAL_DRAM_CACHE if local_hit else ServiceSource.LLC
+        elif data_source is not None:
+            source = data_source
+        else:
+            memory_latency = self._memory_path(start, requester, block)
+            source = self._memory_source(home, requester)
+
+        total = local_latency + max(memory_latency, snoop_latency)
+        self.stats.broadcasts += 1
+        if has_shared_copy:
+            self.stats.upgrades += 1
+        return MissResult(
+            latency=total,
+            source=source,
+            request_type=request_type,
+            invalidations=invalidations,
+            used_broadcast=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Evictions
+    # ------------------------------------------------------------------
+
+    def llc_eviction(
+        self, now: float, requester: int, block: int, *, dirty: bool
+    ) -> EvictionResult:
+        result = EvictionResult()
+        sock = self.socket(requester)
+        if sock.dram_cache is not None:
+            self._insert_into_dram_cache(now, requester, block, dirty=dirty)
+            result.inserted_in_dram_cache = True
+        elif dirty:
+            home = self.home_of(block)
+            result.latency = self._memory_write(now, home, block, requester)
+            result.wrote_memory = True
+        return result

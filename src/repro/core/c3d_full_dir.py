@@ -1,0 +1,161 @@
+"""C3D + idealised full directory (evaluated as *c3d-full-dir*).
+
+This design combines C3D's clean DRAM caches with an idealised inclusive
+global directory (no recalls, baseline 10-cycle access latency) that also
+tracks blocks held only in DRAM caches.  Because the directory always knows
+the precise sharer set, no broadcast invalidations are ever needed -- the
+paper uses this configuration to isolate the performance cost of C3D's
+broadcasts (which turns out to be small: 19.2% vs. 20.3% average speedup in
+the 4-socket system).
+
+Two behavioural changes relative to :class:`~repro.core.c3d_protocol.C3DProtocol`:
+
+* a block written back by the LLC (PutX) transitions the directory entry to
+  *Shared* (owned by the writing socket's DRAM cache) instead of Invalid, so
+  the block stays tracked;
+* reads and writes to blocks the plain C3D directory would consider
+  untracked consult the (idealised) full sharing information instead, so the
+  GetX-in-Invalid case sends directed invalidations only to actual holders.
+"""
+
+from __future__ import annotations
+
+from ..coherence.directory import DirectoryState
+from ..coherence.messages import CoherenceRequestType, EvictionResult, MissResult, ServiceSource
+from .c3d_protocol import C3DProtocol
+
+__all__ = ["C3DFullDirectoryProtocol"]
+
+
+class C3DFullDirectoryProtocol(C3DProtocol):
+    """Clean DRAM caches with an idealised full (inclusive) directory."""
+
+    name = "c3d-full-dir"
+    tracks_dram_cache_in_directory = True
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read_miss(self, now: float, requester: int, block: int) -> MissResult:
+        result = super().read_miss(now, requester, block)
+        # The idealised directory tracks DRAM-cache residency too, so a read
+        # served by memory (the untracked case in plain C3D) still allocates
+        # a sharer entry here.  Local DRAM-cache hits are already tracked.
+        if result.source in (ServiceSource.LOCAL_MEMORY, ServiceSource.REMOTE_MEMORY):
+            directory = self.directory_for(block)
+            self._directory_note_read_sharer(directory, block, requester)
+        return result
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def write_miss(
+        self,
+        now: float,
+        requester: int,
+        block: int,
+        *,
+        thread_id: int = 0,
+        has_shared_copy: bool = False,
+    ) -> MissResult:
+        request_type = (
+            CoherenceRequestType.UPGRADE if has_shared_copy else CoherenceRequestType.GETX
+        )
+        local_hit = False
+        local_latency = 0.0
+        if not has_shared_copy:
+            local_hit, local_latency, _ = self._probe_local_dram_cache(now, requester, block)
+
+        home = self.home_of(block)
+        directory = self.directories[home]
+        latency = local_latency
+        latency += self._request_to_home(now + latency, requester, home)
+        latency += directory.latency_ns
+        self.stats.directory_lookups += 1
+        entry = directory.lookup(block)
+        invalidations = 0
+
+        if (
+            entry is not None
+            and entry.state is DirectoryState.MODIFIED
+            and entry.owner is not None
+            and entry.owner != requester
+        ):
+            owner = entry.owner
+            latency += self._invalidate_remote_socket(
+                now + latency, home, owner, block, include_dram_cache=True
+            )
+            latency += self._data_response(now + latency, owner, requester)
+            invalidations = 1
+            source = ServiceSource.REMOTE_LLC
+        else:
+            # The idealised directory knows the exact holders: use the tracked
+            # sharing vector when present, otherwise fall back to the true
+            # holder set (equivalent, since the ideal directory is precise).
+            if entry is not None and entry.sharers:
+                targets = sorted(entry.sharers - {requester})
+            else:
+                targets = self._sockets_with_any_copy(block, exclude=requester)
+            invalidation_latency = 0.0
+            for target in targets:
+                invalidation_latency = max(
+                    invalidation_latency,
+                    self._invalidate_remote_socket(
+                        now + latency, home, target, block, include_dram_cache=True
+                    ),
+                )
+                invalidations += 1
+            data_latency, source = self._write_data_path(
+                now + latency, requester, home, block,
+                has_shared_copy=has_shared_copy, local_hit=local_hit,
+            )
+            latency += max(invalidation_latency, data_latency)
+
+        directory.set_modified(block, requester)
+        if has_shared_copy:
+            self.stats.upgrades += 1
+        return MissResult(
+            latency=latency,
+            source=source,
+            request_type=request_type,
+            invalidations=invalidations,
+            used_broadcast=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Evictions
+    # ------------------------------------------------------------------
+
+    def llc_eviction(
+        self, now: float, requester: int, block: int, *, dirty: bool
+    ) -> EvictionResult:
+        result = EvictionResult()
+        sock = self.socket(requester)
+        home = self.home_of(block)
+        directory = self.directories[home]
+
+        if sock.dram_cache is not None:
+            self._insert_into_dram_cache(now, requester, block, dirty=False)
+            result.inserted_in_dram_cache = True
+
+        if dirty:
+            result.latency = self._memory_write(now, home, block, requester)
+            result.wrote_memory = True
+            self.stats.write_throughs += 1
+            # Modified -> Shared on write-back: the (clean) copy retained in
+            # the DRAM cache keeps the socket in the sharing vector.
+            if sock.dram_cache is not None and sock.dram_cache.contains(block):
+                directory.set_shared(block, {requester})
+            else:
+                directory.invalidate(block)
+        return result
+
+    # ------------------------------------------------------------------
+    # DRAM-cache eviction hooks (keep the ideal directory precise)
+    # ------------------------------------------------------------------
+
+    def _on_dram_cache_clean_victim(self, block: int, socket_id: int) -> None:
+        if not self.socket(socket_id).llc.contains(block):
+            self.directory_for(block).remove_sharer(block, socket_id)

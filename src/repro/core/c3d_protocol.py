@@ -1,0 +1,278 @@
+"""C3D: Clean Coherent DRAM Caches -- the paper's primary contribution.
+
+The protocol combines (section IV):
+
+* **Clean DRAM caches** -- dirty LLC victims are written through to their
+  home memory while a clean copy is retained in the local DRAM cache, so a
+  read miss from any socket can always be served by memory (or a remote
+  *on-chip* cache) and never by a slow remote DRAM cache.
+* **Non-inclusive global directory** -- the directory tracks only blocks held
+  in on-chip caches (LLC or higher).  Blocks held solely in DRAM caches are
+  untracked; a read to such a block is served by memory without allocating a
+  directory entry, and a write to an untracked block broadcasts invalidations
+  to every other socket's DRAM cache (and any untracked LLC copies) before
+  Modified permission is granted.
+* **Broadcast filtering** (optional, section IV-D) -- writes to pages the
+  OS/TLB classifier still considers thread-private skip the broadcast.
+
+Directory stable states and transitions follow Fig. 5:
+
+* ``Invalid`` only guarantees that memory is not stale (copies may exist in
+  DRAM caches); GetS in Invalid is served by memory and stays untracked;
+  GetX in Invalid broadcasts invalidations and moves to Modified.
+* ``Modified`` means exactly one socket holds the block on-chip (its DRAM
+  cache may additionally hold a stale copy); GetS forwards to the owner and
+  moves to Shared; GetX/Upgrade invalidates the owner and changes ownership;
+  PutX (LLC write-back) moves to Invalid.
+* ``Shared`` keeps a precise-superset sharing vector because the only way in
+  is from Modified; GetS adds the requester; GetX invalidates the tracked
+  sharers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..coherence.directory import DirectoryState
+from ..coherence.messages import (
+    CoherenceRequestType,
+    EvictionResult,
+    MissResult,
+    ServiceSource,
+)
+from ..coherence.protocol_base import GlobalCoherenceProtocol
+from ..interconnect.packet import MessageClass
+from .page_classifier import PrivateSharedClassifier
+
+__all__ = ["C3DProtocol"]
+
+
+class C3DProtocol(GlobalCoherenceProtocol):
+    """Clean Coherent DRAM Caches (C3D)."""
+
+    name = "c3d"
+    uses_dram_cache = True
+    clean_dram_cache = True
+
+    def __init__(self, system, *, broadcast_filter: bool = False) -> None:
+        super().__init__(system)
+        self.broadcast_filter = broadcast_filter
+        self.classifier: Optional[PrivateSharedClassifier] = getattr(
+            system, "page_classifier", None
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read_miss(self, now: float, requester: int, block: int) -> MissResult:
+        # Fast local hit: a read hit in the local DRAM cache completes with no
+        # messages to remote sockets (first bullet of section IV-B summary).
+        hit, local_latency, _dirty = self._probe_local_dram_cache(now, requester, block)
+        if hit:
+            return MissResult(
+                latency=local_latency,
+                source=ServiceSource.LOCAL_DRAM_CACHE,
+                request_type=CoherenceRequestType.GETS,
+            )
+
+        home = self.home_of(block)
+        directory = self.directories[home]
+        latency = local_latency
+        latency += self._request_to_home(now + latency, requester, home)
+        latency += directory.latency_ns
+        self.stats.directory_lookups += 1
+        entry = directory.lookup(block)
+
+        if (
+            entry is not None
+            and entry.state is DirectoryState.MODIFIED
+            and entry.owner is not None
+            and entry.owner != requester
+        ):
+            # The only place a modified copy can live is a remote *on-chip*
+            # cache; forward there.  The owner downgrades to Shared and the
+            # dirty data is written through so memory becomes valid again.
+            owner = entry.owner
+            latency += self._fetch_from_remote_llc(
+                now + latency, home, owner, requester, block, downgrade=True
+            )
+            directory.set_shared(block, {owner, requester})
+            source = ServiceSource.REMOTE_LLC
+        elif entry is not None and entry.state is DirectoryState.SHARED:
+            latency += self._memory_read(now + latency, home, block, requester)
+            latency += self._data_response(now + latency, home, requester)
+            directory.add_sharer(block, requester)
+            source = self._memory_source(home, requester)
+        else:
+            # Invalid / untracked: memory is guaranteed valid (clean DRAM
+            # caches) and the request is NOT inserted into the directory.
+            latency += self._memory_read(now + latency, home, block, requester)
+            latency += self._data_response(now + latency, home, requester)
+            source = self._memory_source(home, requester)
+
+        return MissResult(latency=latency, source=source, request_type=CoherenceRequestType.GETS)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def _broadcast_invalidations(self, now: float, requester: int, home: int, block: int) -> float:
+        """Invalidate every other socket's DRAM-cache (and untracked LLC) copy.
+
+        Returns the completion latency of the broadcast (last ack received).
+        """
+        worst = 0.0
+        for target in range(self.num_sockets):
+            if target == requester:
+                continue
+            latency = self._invalidate_remote_socket(
+                now,
+                home,
+                target,
+                block,
+                include_dram_cache=True,
+                message_class=MessageClass.BROADCAST_INVALIDATION,
+            )
+            worst = max(worst, latency)
+        self.stats.broadcasts += 1
+        return worst
+
+    def write_miss(
+        self,
+        now: float,
+        requester: int,
+        block: int,
+        *,
+        thread_id: int = 0,
+        has_shared_copy: bool = False,
+    ) -> MissResult:
+        request_type = (
+            CoherenceRequestType.UPGRADE if has_shared_copy else CoherenceRequestType.GETX
+        )
+        local_hit = False
+        local_latency = 0.0
+        if not has_shared_copy:
+            local_hit, local_latency, _ = self._probe_local_dram_cache(now, requester, block)
+
+        home = self.home_of(block)
+        directory = self.directories[home]
+        latency = local_latency
+        latency += self._request_to_home(now + latency, requester, home)
+        latency += directory.latency_ns
+        self.stats.directory_lookups += 1
+        entry = directory.lookup(block)
+        invalidations = 0
+        used_broadcast = False
+
+        if (
+            entry is not None
+            and entry.state is DirectoryState.MODIFIED
+            and entry.owner is not None
+            and entry.owner != requester
+        ):
+            owner = entry.owner
+            latency += self._invalidate_remote_socket(
+                now + latency, home, owner, block, include_dram_cache=True
+            )
+            latency += self._data_response(now + latency, owner, requester)
+            invalidations = 1
+            source = ServiceSource.REMOTE_LLC
+        elif entry is not None and entry.state is DirectoryState.SHARED:
+            sharers = sorted(entry.sharers - {requester})
+            invalidation_latency = 0.0
+            for target in sharers:
+                invalidation_latency = max(
+                    invalidation_latency,
+                    self._invalidate_remote_socket(
+                        now + latency, home, target, block, include_dram_cache=True
+                    ),
+                )
+                invalidations += 1
+            data_latency, source = self._write_data_path(
+                now + latency, requester, home, block,
+                has_shared_copy=has_shared_copy, local_hit=local_hit,
+            )
+            latency += max(invalidation_latency, data_latency)
+        else:
+            # Invalid / untracked: unless the page is known thread-private,
+            # broadcast invalidations to all other DRAM caches.
+            skip_broadcast = False
+            if self.broadcast_filter and self.classifier is not None:
+                skip_broadcast = self.classifier.write_is_private(thread_id, block)
+            if skip_broadcast:
+                self.stats.broadcasts_elided += 1
+            else:
+                broadcast_latency = self._broadcast_invalidations(
+                    now + latency, requester, home, block
+                )
+                invalidations += self.num_sockets - 1
+                used_broadcast = True
+            data_latency, source = self._write_data_path(
+                now + latency, requester, home, block,
+                has_shared_copy=has_shared_copy, local_hit=local_hit,
+            )
+            if skip_broadcast:
+                latency += data_latency
+            else:
+                latency += max(broadcast_latency, data_latency)
+
+        directory.set_modified(block, requester)
+        if has_shared_copy:
+            self.stats.upgrades += 1
+        return MissResult(
+            latency=latency,
+            source=source,
+            request_type=request_type,
+            invalidations=invalidations,
+            used_broadcast=used_broadcast,
+        )
+
+    def _write_data_path(
+        self,
+        now: float,
+        requester: int,
+        home: int,
+        block: int,
+        *,
+        has_shared_copy: bool,
+        local_hit: bool,
+    ):
+        """Latency and source of the data portion of a write transaction."""
+        if has_shared_copy:
+            return 0.0, ServiceSource.LLC
+        if local_hit:
+            # Clean local DRAM-cache copy provides the data; memory is not
+            # accessed (its copy is identical).
+            return 0.0, ServiceSource.LOCAL_DRAM_CACHE
+        data_latency = self._memory_read(now, home, block, requester)
+        data_latency += self._data_response(now + data_latency, home, requester)
+        return data_latency, self._memory_source(home, requester)
+
+    # ------------------------------------------------------------------
+    # Evictions
+    # ------------------------------------------------------------------
+
+    def llc_eviction(
+        self, now: float, requester: int, block: int, *, dirty: bool
+    ) -> EvictionResult:
+        result = EvictionResult()
+        sock = self.socket(requester)
+        home = self.home_of(block)
+        directory = self.directories[home]
+
+        if sock.dram_cache is not None:
+            # Victim cache: retain a clean copy locally regardless of dirtiness.
+            self._insert_into_dram_cache(now, requester, block, dirty=False)
+            result.inserted_in_dram_cache = True
+
+        if dirty:
+            # PutX: write the data through to the home memory; the directory
+            # acknowledges and transitions Modified -> Invalid (Fig. 5).
+            result.latency = self._memory_write(now, home, block, requester)
+            result.wrote_memory = True
+            self.stats.write_throughs += 1
+            directory.invalidate(block)
+        # Clean (Shared) LLC evictions are silent; the sharing vector becomes
+        # a superset, which remains valid.
+        return result

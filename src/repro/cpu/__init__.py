@@ -1,0 +1,7 @@
+"""CPU substrate: timing cores, store buffers, TLBs."""
+
+from .processor import Core
+from .store_buffer import StoreBuffer, StorePushResult
+from .tlb import TLB
+
+__all__ = ["Core", "StoreBuffer", "StorePushResult", "TLB"]

@@ -1,0 +1,123 @@
+"""Simple timing core (Table II: 32-core, 1 IPC, 3 GHz, TSO, 32-entry store queue).
+
+The paper's processor model is deliberately simple: one instruction per cycle
+when not blocked on memory, loads block for the full memory latency, stores
+retire into the store buffer and drain off the critical path.  Each
+:class:`Core` owns its clock (``time``, in nanoseconds); the simulation driver
+advances the core with the earliest clock so the cores' memory transactions
+interleave in (approximate) global time order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..coherence.messages import ServiceSource
+from ..stats.counters import SimulationStats
+from .store_buffer import StoreBuffer
+from .tlb import TLB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system.socket import Socket
+    from ..workloads.trace import MemoryAccess
+
+__all__ = ["Core"]
+
+
+class Core:
+    """One in-order, single-issue core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        socket: "Socket",
+        *,
+        clock_ghz: float = 3.0,
+        store_buffer_entries: int = 32,
+        tlb_entries: int = 64,
+        thread_id: Optional[int] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.socket = socket
+        self.thread_id = thread_id if thread_id is not None else core_id
+        self.cycle_ns = 1.0 / clock_ghz
+        self.time = 0.0
+        self.store_buffer = StoreBuffer(store_buffer_entries)
+        self.tlb = TLB(tlb_entries)
+        self.instructions = 0
+        self.loads = 0
+        self.stores = 0
+
+    # -- helpers --------------------------------------------------------------
+
+    @property
+    def stats(self) -> SimulationStats:
+        return self.socket.stats
+
+    @property
+    def local_core_index(self) -> int:
+        """Index of this core within its socket."""
+        return self.socket.local_index_of(self.core_id)
+
+    def advance_instructions(self, count: int) -> None:
+        """Model ``count`` non-memory instructions at 1 IPC."""
+        if count > 0:
+            self.time += count * self.cycle_ns
+            self.instructions += count
+
+    # -- the per-access execution loop ------------------------------------------
+
+    def execute(self, access: "MemoryAccess") -> float:
+        """Execute one trace record; returns the core's new local time."""
+        self.advance_instructions(access.gap)
+        layout = self.socket.layout
+        block = layout.block_of(access.addr)
+        self.tlb.access(layout.page_of(access.addr))
+        self.instructions += 1
+        self.stats.instructions += 1
+
+        if access.is_write:
+            self._execute_store(block)
+        else:
+            self._execute_load(block)
+        return self.time
+
+    def _execute_load(self, block: int) -> None:
+        self.loads += 1
+        self.stats.reads += 1
+        if self.store_buffer.forwards(block, self.time):
+            # TSO store-to-load forwarding: the youngest matching store's data
+            # is bypassed to the load within the pipeline.
+            latency = self.socket.l1_latency_ns
+            self.stats.store_forward_hits += 1
+        else:
+            latency, _source = self.socket.access(
+                self.time, self.local_core_index, block,
+                is_write=False, thread_id=self.thread_id,
+            )
+        self.time += latency
+        self.stats.read_latency.add(latency)
+
+    def _execute_store(self, block: int) -> None:
+        self.stores += 1
+        self.stats.writes += 1
+        self.store_buffer.drain(self.time)
+        latency, _source = self.socket.access(
+            self.time, self.local_core_index, block,
+            is_write=True, thread_id=self.thread_id,
+        )
+        # The store retires into the buffer; completion is serialised behind
+        # older stores (TSO in-order drain), which throttles store bursts by
+        # filling the buffer and stalling the core.
+        result = self.store_buffer.push(self.time, block, self.time + latency)
+        if result.stall_ns > 0:
+            self.stats.store_buffer_stalls += 1
+            self.stats.store_buffer_stall_ns += result.stall_ns
+            self.time += result.stall_ns
+        # The store itself occupies the pipeline for one cycle; its memory
+        # latency is hidden by the store buffer.
+        self.time += self.cycle_ns
+        self.stats.write_latency.add(latency)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Core(id={self.core_id}, t={self.time:.1f}ns)"

@@ -1,0 +1,109 @@
+"""Store buffer model (Table II: 32-entry store queue, TSO).
+
+Stores retire into the buffer and drain to the memory system in the
+background, so write latency is normally off the critical path.  The buffer
+affects performance in two ways the paper relies on:
+
+* when it fills up, the core stalls until the oldest store completes (this is
+  how expensive write transactions -- e.g. C3D broadcasts -- could hurt, and
+  the evaluation shows they rarely do);
+* loads check the buffer first (TSO store-to-load forwarding), so a load to a
+  recently written block completes immediately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Tuple
+
+__all__ = ["StoreBuffer", "StorePushResult"]
+
+
+@dataclass
+class StorePushResult:
+    """Outcome of pushing a store into the buffer."""
+
+    stall_ns: float
+    issue_time: float
+
+
+class StoreBuffer:
+    """Fixed-capacity FIFO of in-flight stores."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("store buffer capacity must be >= 1")
+        self.capacity = capacity
+        # entries: (completion_time, block)
+        self._entries: Deque[Tuple[float, int]] = deque()
+        self.pushes = 0
+        self.stalls = 0
+        self.total_stall_ns = 0.0
+        self.forward_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def drain(self, now: float) -> None:
+        """Retire every store whose memory transaction has completed by ``now``."""
+        while self._entries and self._entries[0][0] <= now:
+            self._entries.popleft()
+
+    def next_drain_time(self, now: float) -> float:
+        """Earliest time a newly issued store can start its memory transaction.
+
+        Stores drain in order with one outstanding transaction, so a new
+        store starts no earlier than the completion of the store currently at
+        the tail of the buffer.
+        """
+        self.drain(now)
+        if not self._entries:
+            return now
+        return max(now, self._entries[-1][0])
+
+    def forwards(self, block: int, now: float) -> bool:
+        """True when a load to ``block`` can be forwarded from the buffer."""
+        self.drain(now)
+        for _completion, pending_block in self._entries:
+            if pending_block == block:
+                self.forward_hits += 1
+                return True
+        return False
+
+    def push(self, now: float, block: int, completion_time: float) -> StorePushResult:
+        """Insert a store that will complete no earlier than ``completion_time``.
+
+        Stores drain in order and one at a time, so the effective completion
+        time of the new store is at least the completion time of the store in
+        front of it -- this is what throttles bursts of stores to the memory
+        system.  If the buffer is full, the core stalls until the oldest
+        entry retires; the returned ``issue_time`` is when the store actually
+        entered the buffer and ``stall_ns`` the stall charged to the core.
+        """
+        self.drain(now)
+        stall_ns = 0.0
+        issue_time = now
+        if self.is_full:
+            oldest_completion = self._entries[0][0]
+            stall_ns = max(0.0, oldest_completion - now)
+            issue_time = now + stall_ns
+            self.stalls += 1
+            self.total_stall_ns += stall_ns
+            self.drain(issue_time)
+        completion = max(completion_time, issue_time)
+        if self._entries:
+            # In-order, one-at-a-time drain (TSO): a store cannot complete
+            # before the store ahead of it.
+            completion = max(completion, self._entries[-1][0])
+        self._entries.append((completion, block))
+        self.pushes += 1
+        return StorePushResult(stall_ns=stall_ns, issue_time=issue_time)
+
+    def occupancy(self) -> int:
+        """Number of in-flight stores currently buffered."""
+        return len(self._entries)

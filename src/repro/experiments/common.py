@@ -1,0 +1,193 @@
+"""Shared infrastructure for the paper-reproduction experiments.
+
+Every experiment module (one per table/figure) builds on the same pieces:
+
+* :class:`ExperimentSettings` -- how hard to scale the machine and how long
+  to run each simulation.  The paper simulates 0.5-1 billion instructions
+  per core on 32-core machines, which a pure-Python simulator cannot replay;
+  the default settings scale capacities and working sets by 512x and replay a
+  few thousand accesses per core after pre-warming the DRAM caches
+  (DESIGN.md section 5 explains why this preserves the normalised results).
+* :class:`ExperimentContext` -- builds systems/workloads, runs simulations
+  and memoises results so that e.g. Fig. 8 and Fig. 9 can reuse the runs
+  performed for Fig. 6.
+* small helpers for speedups and normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..stats.counters import SimulationStats
+from ..stats.report import geometric_mean
+from ..system.config import SystemConfig
+from ..system.numa_system import NumaSystem
+from ..system.simulator import SimulationResult, Simulator
+from ..workloads.registry import EVALUATED_WORKLOADS, make_workload
+
+__all__ = [
+    "ExperimentSettings",
+    "RunRecord",
+    "ExperimentContext",
+    "DESIGNS",
+    "DRAM_CACHE_DESIGNS",
+    "speedup",
+    "geometric_mean",
+]
+
+#: The designs compared throughout the evaluation, in the paper's order.
+DESIGNS: Tuple[str, ...] = ("baseline", "snoopy", "full-dir", "c3d", "c3d-full-dir")
+#: The DRAM-cache designs (everything but the baseline).
+DRAM_CACHE_DESIGNS: Tuple[str, ...] = ("snoopy", "full-dir", "c3d", "c3d-full-dir")
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs controlling experiment fidelity vs. runtime."""
+
+    scale: int = 512
+    accesses_per_thread: int = 3000
+    warmup_accesses_per_thread: int = 1000
+    num_sockets: int = 4
+    cores_per_socket: int = 8
+    prewarm: bool = True
+    allocation_policy: str = "first_touch"
+    seed: Optional[int] = None
+
+    @classmethod
+    def quick(cls) -> "ExperimentSettings":
+        """Fast settings for CI / pytest-benchmark runs (seconds per run)."""
+        return cls(scale=1024, accesses_per_thread=1200, warmup_accesses_per_thread=400)
+
+    @classmethod
+    def full(cls) -> "ExperimentSettings":
+        """Higher-fidelity settings used to produce EXPERIMENTS.md."""
+        return cls(scale=512, accesses_per_thread=6000, warmup_accesses_per_thread=2000)
+
+    def dual_socket(self) -> "ExperimentSettings":
+        """The 2-socket, 16-core/socket variant of these settings (Fig. 7)."""
+        return replace(self, num_sockets=2, cores_per_socket=16)
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sockets * self.cores_per_socket
+
+    @property
+    def trace_length(self) -> int:
+        return self.accesses_per_thread + self.warmup_accesses_per_thread
+
+
+@dataclass
+class RunRecord:
+    """One simulation run plus the derived quantities experiments report."""
+
+    workload: str
+    protocol: str
+    stats: SimulationStats
+    result: SimulationResult
+    config: SystemConfig
+
+    @property
+    def total_time_ns(self) -> float:
+        return self.result.total_time_ns
+
+    @property
+    def inter_socket_bytes(self) -> int:
+        return self.result.inter_socket_bytes
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.stats.memory_accesses
+
+
+def speedup(baseline: RunRecord, other: RunRecord) -> float:
+    """Execution-time speedup of ``other`` relative to ``baseline``."""
+    if other.total_time_ns == 0:
+        return float("nan")
+    return baseline.total_time_ns / other.total_time_ns
+
+
+class ExperimentContext:
+    """Builds, runs and memoises simulations for the experiment modules."""
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None) -> None:
+        self.settings = settings or ExperimentSettings()
+        self._cache: Dict[Tuple, RunRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration / workload construction
+    # ------------------------------------------------------------------
+
+    def make_config(self, protocol: str, **overrides) -> SystemConfig:
+        """Build the (scaled) machine configuration for one design."""
+        settings = self.settings
+        if settings.num_sockets == 2:
+            config = SystemConfig.dual_socket(protocol=protocol)
+        else:
+            config = SystemConfig.quad_socket(protocol=protocol)
+        config = replace(
+            config,
+            num_sockets=settings.num_sockets,
+            cores_per_socket=settings.cores_per_socket,
+            allocation_policy=settings.allocation_policy,
+        )
+        if overrides:
+            config = replace(config, **overrides)
+        return config.scaled(settings.scale)
+
+    def make_workload(self, name: str):
+        """Build the (scaled) workload generator for one benchmark."""
+        settings = self.settings
+        return make_workload(
+            name,
+            scale=settings.scale,
+            accesses_per_thread=settings.trace_length,
+            num_threads=settings.total_cores,
+            seed=settings.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, workload_name: str, protocol: str, *, config: Optional[SystemConfig] = None,
+            cache_key_extra: Tuple = ()) -> RunRecord:
+        """Run one (workload, design) simulation, memoising the result.
+
+        Runs with an explicit ``config`` are memoised only when the caller
+        provides a distinguishing ``cache_key_extra`` (otherwise two different
+        ad-hoc configurations could collide on the same key).
+        """
+        key = (workload_name, protocol, self.settings, cache_key_extra)
+        cacheable = config is None or bool(cache_key_extra)
+        if cacheable and key in self._cache:
+            return self._cache[key]
+
+        cfg = config if config is not None else self.make_config(protocol)
+        system = NumaSystem(cfg)
+        workload = self.make_workload(workload_name)
+        simulator = Simulator(system, workload)
+        result = simulator.run(
+            warmup_accesses_per_core=self.settings.warmup_accesses_per_thread,
+            prewarm=self.settings.prewarm,
+        )
+        record = RunRecord(
+            workload=workload_name, protocol=protocol,
+            stats=result.stats, result=result, config=cfg,
+        )
+        if cacheable:
+            self._cache[key] = record
+        return record
+
+    def run_designs(
+        self,
+        workload_name: str,
+        designs: Iterable[str] = DESIGNS,
+    ) -> Dict[str, RunRecord]:
+        """Run one workload under several designs."""
+        return {design: self.run(workload_name, design) for design in designs}
+
+    def workloads(self) -> List[str]:
+        """The evaluated workloads, in the paper's plotting order."""
+        return list(EVALUATED_WORKLOADS)

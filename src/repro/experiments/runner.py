@@ -1,0 +1,114 @@
+"""Run every reproduced table and figure and print a consolidated report.
+
+Usage::
+
+    python -m repro.experiments.runner            # default settings
+    python -m repro.experiments.runner --quick    # CI-sized runs
+    python -m repro.experiments.runner --full     # EXPERIMENTS.md settings
+
+The runner shares one :class:`~repro.experiments.common.ExperimentContext`
+across experiments so that e.g. the Fig. 6 runs are reused by Fig. 8/9.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import (
+    broadcast_filter,
+    directory_cost,
+    fig2,
+    fig3,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+)
+from .common import ExperimentContext, ExperimentSettings
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    include_sensitivity: bool = True,
+    stream=sys.stdout,
+) -> Dict[str, object]:
+    """Run all experiments; returns {experiment-name: result}."""
+    settings = settings or ExperimentSettings()
+    context = ExperimentContext(settings)
+    dual_context = ExperimentContext(settings.dual_socket())
+    results: Dict[str, object] = {}
+
+    experiments: List[Tuple[str, Callable[[], Tuple[object, str]]]] = [
+        ("table1", lambda: _wrap(table1.run_table1(context), table1.format_table1)),
+        ("fig2", lambda: _wrap(fig2.run_fig2(context), fig2.format_fig2)),
+        ("fig3", lambda: _wrap(fig3.run_fig3(context), fig3.format_fig3)),
+        ("fig6", lambda: _wrap(fig6.run_fig6(context), fig6.format_fig6)),
+        ("fig7", lambda: _wrap(fig7.run_fig7(dual_context), fig7.format_fig7)),
+        ("fig8", lambda: _wrap(fig8.run_fig8(context), fig8.format_fig8)),
+        ("fig9", lambda: _wrap(fig9.run_fig9(context), fig9.format_fig9)),
+        (
+            "broadcast_filter",
+            lambda: _wrap(
+                broadcast_filter.run_broadcast_filter(context),
+                broadcast_filter.format_broadcast_filter,
+            ),
+        ),
+        (
+            "directory_cost",
+            lambda: _wrap(
+                directory_cost.storage_cost_table(),
+                lambda table: "\n".join(f"{k}: {v:.1f} MB" for k, v in table.items()),
+            ),
+        ),
+    ]
+    if include_sensitivity:
+        experiments.extend(
+            [
+                ("fig10", lambda: _wrap(fig10.run_fig10(context), fig10.format_fig10)),
+                ("fig11", lambda: _wrap(fig11.run_fig11(context), fig11.format_fig11)),
+            ]
+        )
+
+    for name, runner in experiments:
+        start = time.time()
+        result, report = runner()
+        elapsed = time.time() - start
+        results[name] = result
+        print(f"\n### {name}  ({elapsed:.1f} s)\n", file=stream)
+        print(report, file=stream)
+        stream.flush()
+    return results
+
+
+def _wrap(result, formatter) -> Tuple[object, str]:
+    return result, formatter(result)
+
+
+def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized runs")
+    parser.add_argument("--full", action="store_true", help="EXPERIMENTS.md settings")
+    parser.add_argument(
+        "--no-sensitivity", action="store_true", help="skip the Fig. 10/11 sweeps"
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        settings = ExperimentSettings.quick()
+    elif args.full:
+        settings = ExperimentSettings.full()
+    else:
+        settings = ExperimentSettings()
+    return run_all(settings, include_sensitivity=not args.no_sensitivity)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    main()

@@ -1,0 +1,33 @@
+"""Inter-socket interconnect substrate: topologies, links, packets, network."""
+
+from .link import Link
+from .network import Interconnect
+from .packet import (
+    CONTROL_PACKET_BYTES,
+    DATA_PACKET_BYTES,
+    MessageClass,
+    Packet,
+    PacketKind,
+)
+from .topology import (
+    FullMeshTopology,
+    PointToPointTopology,
+    RingTopology,
+    Topology,
+    make_topology,
+)
+
+__all__ = [
+    "Interconnect",
+    "Link",
+    "MessageClass",
+    "Packet",
+    "PacketKind",
+    "CONTROL_PACKET_BYTES",
+    "DATA_PACKET_BYTES",
+    "Topology",
+    "RingTopology",
+    "PointToPointTopology",
+    "FullMeshTopology",
+    "make_topology",
+]

@@ -1,0 +1,61 @@
+"""Directed inter-socket link with bandwidth (busy-until) accounting."""
+
+from __future__ import annotations
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One directed inter-socket link (e.g. one direction of a QPI link).
+
+    Table II gives 25.6 GB/s per link.  Like the memory channels, the link
+    uses busy-until accounting: a packet arriving while the link is still
+    serialising earlier packets waits for its turn, which is how QPI
+    congestion manifests as latency.  Fig. 2's ``inf_qpi_bw`` idealisation
+    disables the queueing term.
+    """
+
+    def __init__(self, src: int, dst: int, bandwidth_bytes_per_ns: float,
+                 *, infinite_bandwidth: bool = False) -> None:
+        if bandwidth_bytes_per_ns <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bytes_per_ns = bandwidth_bytes_per_ns
+        self.infinite_bandwidth = infinite_bandwidth
+        self.busy_until = 0.0
+        self.last_arrival = 0.0
+        self.bytes_transferred = 0
+        self.packets = 0
+        self.busy_time = 0.0
+
+    def occupy(self, now: float, size_bytes: int) -> float:
+        """Reserve the link for ``size_bytes`` starting no earlier than ``now``.
+
+        Returns the queueing delay experienced by this packet.  Packets that
+        arrive out of time order (trace-driven core skew) are assumed to use
+        an earlier idle slot and are charged no queueing delay -- see
+        :meth:`repro.memory.main_memory.MemoryChannel.occupy` for why.
+        """
+        self.bytes_transferred += size_bytes
+        self.packets += 1
+        if self.infinite_bandwidth:
+            return 0.0
+        service_time = size_bytes / self.bandwidth_bytes_per_ns
+        self.busy_time += service_time
+        if now < self.last_arrival:
+            return 0.0
+        self.last_arrival = now
+        start = max(now, self.busy_until)
+        queue_delay = start - now
+        self.busy_until = start + service_time
+        return queue_delay
+
+    def utilisation(self, elapsed_ns: float) -> float:
+        """Fraction of time this link was busy over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.busy_time / elapsed_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.src}->{self.dst}, {self.bytes_transferred} bytes)"

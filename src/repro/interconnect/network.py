@@ -1,0 +1,178 @@
+"""Inter-socket network model combining a topology, per-link bandwidth and
+per-hop latency, with traffic accounting by message class.
+
+Table II: 20 ns per hop one way (40 ns round trip per hop, as used by the
+methodology section), 25.6 GB/s per link, 16-byte control / 80-byte data
+packets.  Fig. 2's idealisations map to ``zero_latency`` (0-QPI-latency) and
+``infinite_bandwidth`` (inf-QPI-bandwidth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .link import Link
+from .packet import CONTROL_PACKET_BYTES, DATA_PACKET_BYTES, MessageClass, Packet, PacketKind
+from .topology import Topology
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """The socket-to-socket interconnect (QPI/HyperTransport-like)."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        hop_latency_ns: float = 20.0,
+        link_bandwidth_gbps: float = 25.6,
+        control_packet_bytes: int = CONTROL_PACKET_BYTES,
+        data_packet_bytes: int = DATA_PACKET_BYTES,
+        zero_latency: bool = False,
+        infinite_bandwidth: bool = False,
+    ) -> None:
+        if hop_latency_ns < 0:
+            raise ValueError("hop_latency_ns must be non-negative")
+        self.topology = topology
+        self.hop_latency_ns = 0.0 if zero_latency else hop_latency_ns
+        self.control_packet_bytes = control_packet_bytes
+        self.data_packet_bytes = data_packet_bytes
+        self.zero_latency = zero_latency
+        self.infinite_bandwidth = infinite_bandwidth
+        self._links: Dict[Tuple[int, int], Link] = {
+            (a, b): Link(a, b, link_bandwidth_gbps, infinite_bandwidth=infinite_bandwidth)
+            for a, b in topology.links()
+        }
+        # Route cache: topologies are static, so the per-pair link list never changes.
+        self._routes: Dict[Tuple[int, int], list] = {
+            (a, b): topology.route(a, b)
+            for a in range(topology.num_sockets)
+            for b in range(topology.num_sockets)
+        }
+
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.bytes_by_class: Dict[MessageClass, int] = {cls: 0 for cls in MessageClass}
+        self.messages_by_class: Dict[MessageClass, int] = {cls: 0 for cls in MessageClass}
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def num_sockets(self) -> int:
+        return self.topology.num_sockets
+
+    def packet_size(self, message_class: MessageClass) -> int:
+        """Physical size in bytes of a packet of the given class."""
+        if message_class.kind is PacketKind.DATA:
+            return self.data_packet_bytes
+        return self.control_packet_bytes
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count between two sockets."""
+        return self.topology.hops(src, dst)
+
+    # -- transfers ------------------------------------------------------------
+
+    def send(self, now: float, src: int, dst: int, message_class: MessageClass) -> float:
+        """Send one packet from ``src`` to ``dst``; return its network latency.
+
+        A same-socket "send" is free and generates no traffic (the message
+        never leaves the chip).
+        """
+        if src == dst:
+            return 0.0
+        size = self.packet_size(message_class)
+        route = self._routes[(src, dst)]
+        latency = self.hop_latency_ns * len(route)
+        arrival = now
+        for hop in route:
+            link = self._links[hop]
+            queue_delay = link.occupy(arrival, size)
+            latency += queue_delay
+            arrival = now + latency
+
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.bytes_by_class[message_class] += size
+        self.messages_by_class[message_class] += 1
+        return latency
+
+    def round_trip(
+        self,
+        now: float,
+        src: int,
+        dst: int,
+        request_class: MessageClass = MessageClass.REQUEST,
+        response_class: MessageClass = MessageClass.DATA_RESPONSE,
+    ) -> float:
+        """Request/response pair between two sockets; returns total latency."""
+        if src == dst:
+            return 0.0
+        request_latency = self.send(now, src, dst, request_class)
+        response_latency = self.send(now + request_latency, dst, src, response_class)
+        return request_latency + response_latency
+
+    def broadcast(
+        self,
+        now: float,
+        src: int,
+        message_class: MessageClass = MessageClass.BROADCAST_INVALIDATION,
+        *,
+        collect_acks: bool = True,
+        ack_class: MessageClass = MessageClass.ACK,
+    ) -> float:
+        """Send a packet from ``src`` to every other socket.
+
+        Returns the time until the last destination has received the packet
+        (plus the ack collection latency when ``collect_acks``), which is the
+        completion latency of a broadcast invalidation.
+        """
+        worst = 0.0
+        for dst in range(self.num_sockets):
+            if dst == src:
+                continue
+            out_latency = self.send(now, src, dst, message_class)
+            total = out_latency
+            if collect_acks:
+                total += self.send(now + out_latency, dst, src, ack_class)
+            worst = max(worst, total)
+        return worst
+
+    # -- statistics -----------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero the traffic counters (used when a warm-up phase ends)."""
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.bytes_by_class = {cls: 0 for cls in MessageClass}
+        self.messages_by_class = {cls: 0 for cls in MessageClass}
+        for link in self._links.values():
+            link.bytes_transferred = 0
+            link.packets = 0
+            link.busy_time = 0.0
+
+    def data_bytes(self) -> int:
+        """Bytes sent in data-carrying packets."""
+        return sum(
+            count for cls, count in self.bytes_by_class.items() if cls.kind is PacketKind.DATA
+        )
+
+    def control_bytes(self) -> int:
+        """Bytes sent in control packets."""
+        return self.bytes_sent - self.data_bytes()
+
+    def link_bytes(self) -> int:
+        """Bytes summed over every link traversal (counts each hop)."""
+        return sum(link.bytes_transferred for link in self._links.values())
+
+    def link_utilisations(self, elapsed_ns: float) -> Dict[Tuple[int, int], float]:
+        """Per-link utilisation over ``elapsed_ns``."""
+        return {key: link.utilisation(elapsed_ns) for key, link in self._links.items()}
+
+    def busiest_link_utilisation(self, elapsed_ns: float) -> float:
+        """Utilisation of the most loaded link (0 when there are no links)."""
+        utilisations = self.link_utilisations(elapsed_ns)
+        if not utilisations:
+            return 0.0
+        return max(utilisations.values())

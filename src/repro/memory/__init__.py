@@ -1,0 +1,30 @@
+"""Memory substrate: address arithmetic, page table, NUMA allocation, DDR timing."""
+
+from .address import DEFAULT_LAYOUT, AddressLayout
+from .allocation import (
+    POLICY_NAMES,
+    AddressMapper,
+    AllocationPolicy,
+    FirstTouchPolicy,
+    InterleavePolicy,
+    make_policy,
+)
+from .main_memory import MemoryAccessResult, MemoryChannel, MemoryController
+from .page_table import PageClassification, PageTable, PageTableEntry
+
+__all__ = [
+    "AddressLayout",
+    "DEFAULT_LAYOUT",
+    "AllocationPolicy",
+    "InterleavePolicy",
+    "FirstTouchPolicy",
+    "AddressMapper",
+    "make_policy",
+    "POLICY_NAMES",
+    "MemoryController",
+    "MemoryChannel",
+    "MemoryAccessResult",
+    "PageTable",
+    "PageTableEntry",
+    "PageClassification",
+]

@@ -1,0 +1,148 @@
+"""Page table with the private/shared classification fields of section IV-D.
+
+The C3D broadcast-filtering optimisation extends each page-table entry with
+the owner thread's id and a classification bit.  The OS handles the first
+touch of a page by marking it *private* to the toucher; a later access by a
+different thread either re-homes the page (thread migration) or re-classifies
+it as *shared*.  The classifier built on top of this table lives in
+:mod:`repro.core.page_classifier`; this module provides the underlying table
+shared by the TLB and the OS model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from .address import DEFAULT_LAYOUT, AddressLayout
+
+__all__ = ["PageClassification", "PageTableEntry", "PageTable"]
+
+
+class PageClassification(enum.Enum):
+    """Classification of a page for broadcast filtering (section IV-D)."""
+
+    PRIVATE = "private"
+    SHARED = "shared"
+
+
+@dataclass
+class PageTableEntry:
+    """Per-page metadata.
+
+    Attributes
+    ----------
+    page:
+        Page number.
+    owner_thread:
+        Id of the thread that currently owns the page (valid while the page
+        is classified private).
+    classification:
+        Current private/shared classification.
+    home_socket:
+        Home socket chosen by the NUMA allocation policy, cached here for
+        convenience once known.
+    """
+
+    page: int
+    owner_thread: int
+    classification: PageClassification = PageClassification.PRIVATE
+    home_socket: Optional[int] = None
+
+    @property
+    def is_private(self) -> bool:
+        return self.classification is PageClassification.PRIVATE
+
+
+@dataclass
+class PageTable:
+    """Simple flat page table keyed by page number."""
+
+    layout: AddressLayout = field(default_factory=lambda: DEFAULT_LAYOUT)
+
+    def __post_init__(self) -> None:
+        self._entries: Dict[int, PageTableEntry] = {}
+        self.private_to_shared_transitions = 0
+        self.migrations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[PageTableEntry]:
+        return iter(self._entries.values())
+
+    def lookup(self, page: int) -> Optional[PageTableEntry]:
+        """Return the entry for ``page`` or ``None`` if never touched."""
+        return self._entries.get(page)
+
+    def lookup_addr(self, addr: int) -> Optional[PageTableEntry]:
+        """Return the entry for the page containing byte address ``addr``."""
+        return self.lookup(self.layout.page_of(addr))
+
+    def touch(
+        self,
+        page: int,
+        thread_id: int,
+        *,
+        migrated: bool = False,
+    ) -> Tuple[PageTableEntry, bool]:
+        """Record an access to ``page`` by ``thread_id``.
+
+        Implements the OS actions of section IV-D:
+
+        * first touch: create a PRIVATE entry owned by the toucher;
+        * owner mismatch caused by *thread migration*: update the owner and
+          keep the PRIVATE classification (the caller is responsible for the
+          shoot-down side effects);
+        * owner mismatch caused by *sharing*: re-classify as SHARED.
+
+        Returns ``(entry, reclassified)`` where ``reclassified`` is True when
+        this touch performed the private-to-shared transition.
+        """
+        entry = self._entries.get(page)
+        if entry is None:
+            entry = PageTableEntry(page=page, owner_thread=thread_id)
+            self._entries[page] = entry
+            return entry, False
+
+        if entry.classification is PageClassification.SHARED:
+            return entry, False
+
+        if entry.owner_thread == thread_id:
+            return entry, False
+
+        if migrated:
+            entry.owner_thread = thread_id
+            self.migrations += 1
+            return entry, False
+
+        entry.classification = PageClassification.SHARED
+        self.private_to_shared_transitions += 1
+        return entry, True
+
+    def classify(self, page: int) -> PageClassification:
+        """Return the classification of ``page`` (SHARED if unknown).
+
+        Treating unknown pages as shared is the conservative choice: the
+        protocol will broadcast where it did not strictly need to, which is
+        always correct.
+        """
+        entry = self._entries.get(page)
+        if entry is None:
+            return PageClassification.SHARED
+        return entry.classification
+
+    def set_home(self, page: int, socket: int) -> None:
+        """Cache the NUMA home socket of ``page`` in its entry (if present)."""
+        entry = self._entries.get(page)
+        if entry is not None:
+            entry.home_socket = socket
+
+    def private_pages(self) -> int:
+        """Number of pages currently classified private."""
+        return sum(1 for entry in self._entries.values() if entry.is_private)
+
+    def shared_pages(self) -> int:
+        """Number of pages currently classified shared."""
+        return len(self._entries) - self.private_pages()

@@ -1,0 +1,22 @@
+"""Statistics: counters, AMAT decomposition, report formatting."""
+
+from .amat import AMATBreakdown, amat_breakdown, estimate_amat
+from .counters import LatencyAccumulator, SimulationStats
+from .export import export_json, export_series_csv, flatten_series, load_json
+from .report import format_series, format_table, geometric_mean, normalise
+
+__all__ = [
+    "SimulationStats",
+    "LatencyAccumulator",
+    "AMATBreakdown",
+    "amat_breakdown",
+    "estimate_amat",
+    "format_table",
+    "format_series",
+    "geometric_mean",
+    "normalise",
+    "export_json",
+    "load_json",
+    "export_series_csv",
+    "flatten_series",
+]

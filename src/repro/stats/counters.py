@@ -1,0 +1,179 @@
+"""Event counters collected during a simulation.
+
+A single :class:`SimulationStats` object is shared by the CPU model, the
+sockets and the coherence protocol.  It is deliberately a plain bag of
+counters (no behaviour besides derived ratios) so that every experiment can
+read exactly the quantities the paper reports:
+
+* memory reads / writes split into local vs. remote (Table I, Fig. 8),
+* inter-socket bytes by message class (Fig. 9, section VI-C),
+* DRAM-cache hits/misses and where LLC misses were served from (Fig. 3),
+* cycle counts per core for speedups (Figs. 2, 6, 7, 10, 11).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["SimulationStats", "LatencyAccumulator"]
+
+
+@dataclass
+class LatencyAccumulator:
+    """Accumulates a latency distribution (sum + count + max)."""
+
+    total: float = 0.0
+    count: int = 0
+    maximum: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class SimulationStats:
+    """Counters shared across the simulated machine."""
+
+    # ---- processor-side -------------------------------------------------
+    instructions: int = 0
+    reads: int = 0
+    writes: int = 0
+    store_buffer_stalls: int = 0
+    store_buffer_stall_ns: float = 0.0
+    store_forward_hits: int = 0
+
+    # ---- cache-level hit accounting -------------------------------------
+    l1_hits: int = 0
+    l1_misses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    llc_peer_hits: int = 0           # served by another core's L1 within the socket
+    dram_cache_hits: int = 0
+    dram_cache_misses: int = 0
+
+    # ---- where LLC misses were ultimately served ------------------------
+    served_local_memory: int = 0
+    served_remote_memory: int = 0
+    served_remote_llc: int = 0
+    served_remote_dram_cache: int = 0
+    served_local_dram_cache: int = 0
+
+    # ---- main-memory traffic --------------------------------------------
+    memory_reads_local: int = 0
+    memory_reads_remote: int = 0
+    memory_writes_local: int = 0
+    memory_writes_remote: int = 0
+
+    # ---- coherence actions ------------------------------------------------
+    directory_lookups: int = 0
+    directory_recalls: int = 0
+    invalidations_sent: int = 0
+    broadcasts: int = 0
+    broadcasts_elided: int = 0
+    downgrades: int = 0
+    writebacks: int = 0
+    write_throughs: int = 0
+    upgrades: int = 0
+
+    # ---- latency decomposition ---------------------------------------------
+    read_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    write_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    llc_miss_latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+
+    # ---- per-core completion times (ns) ----------------------------------
+    core_finish_ns: Dict[int, float] = field(default_factory=dict)
+
+    # ---- free-form extras (ablations, debug) ------------------------------
+    extra: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def memory_accesses(self) -> int:
+        """All main-memory accesses (reads + writes, local + remote)."""
+        return (
+            self.memory_reads_local
+            + self.memory_reads_remote
+            + self.memory_writes_local
+            + self.memory_writes_remote
+        )
+
+    @property
+    def memory_reads(self) -> int:
+        return self.memory_reads_local + self.memory_reads_remote
+
+    @property
+    def memory_writes(self) -> int:
+        return self.memory_writes_local + self.memory_writes_remote
+
+    def remote_memory_fraction(self) -> float:
+        """Fraction of main-memory accesses served by a remote socket (Table I)."""
+        total = self.memory_accesses
+        if not total:
+            return 0.0
+        return (self.memory_reads_remote + self.memory_writes_remote) / total
+
+    def remote_read_fraction(self) -> float:
+        """Fraction of main-memory reads served by a remote socket."""
+        reads = self.memory_reads
+        if not reads:
+            return 0.0
+        return self.memory_reads_remote / reads
+
+    def l1_hit_rate(self) -> float:
+        accesses = self.l1_hits + self.l1_misses
+        return self.l1_hits / accesses if accesses else 0.0
+
+    def llc_hit_rate(self) -> float:
+        accesses = self.llc_hits + self.llc_misses
+        return self.llc_hits / accesses if accesses else 0.0
+
+    def dram_cache_hit_rate(self) -> float:
+        accesses = self.dram_cache_hits + self.dram_cache_misses
+        return self.dram_cache_hits / accesses if accesses else 0.0
+
+    def amat_ns(self) -> float:
+        """Average latency of a demand read (ns)."""
+        return self.read_latency.mean
+
+    def total_time_ns(self) -> float:
+        """Completion time of the slowest core (the run's makespan)."""
+        if not self.core_finish_ns:
+            return 0.0
+        return max(self.core_finish_ns.values())
+
+    def off_socket_serves(self) -> int:
+        """LLC misses that had to leave the socket."""
+        return self.served_remote_memory + self.served_remote_llc + self.served_remote_dram_cache
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten the scalar counters into a dictionary (for reports/CSV)."""
+        scalars = {
+            name: getattr(self, name)
+            for name in (
+                "instructions", "reads", "writes", "store_buffer_stalls",
+                "store_forward_hits", "l1_hits", "l1_misses", "llc_hits", "llc_misses",
+                "llc_peer_hits", "dram_cache_hits", "dram_cache_misses",
+                "served_local_memory", "served_remote_memory", "served_remote_llc",
+                "served_remote_dram_cache", "served_local_dram_cache",
+                "memory_reads_local", "memory_reads_remote",
+                "memory_writes_local", "memory_writes_remote",
+                "directory_lookups", "directory_recalls", "invalidations_sent",
+                "broadcasts", "broadcasts_elided", "downgrades", "writebacks",
+                "write_throughs", "upgrades",
+            )
+        }
+        scalars["amat_ns"] = self.amat_ns()
+        scalars["total_time_ns"] = self.total_time_ns()
+        scalars["remote_memory_fraction"] = self.remote_memory_fraction()
+        scalars.update({f"extra.{key}": value for key, value in self.extra.items()})
+        return scalars

@@ -1,0 +1,61 @@
+"""Export helpers: persist experiment results as JSON or CSV.
+
+The experiment modules return plain nested dictionaries
+(``{row: {column: value}}`` series or ``{name: value}`` tables).  These
+helpers write them to disk in formats that plotting scripts and spreadsheets
+can consume, and load them back for comparison across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+__all__ = ["export_json", "load_json", "export_series_csv", "flatten_series"]
+
+PathLike = Union[str, Path]
+
+
+def export_json(results: Mapping, path: PathLike, *, indent: int = 2) -> Path:
+    """Write ``results`` (any JSON-serialisable nested mapping) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: PathLike) -> Dict:
+    """Load a results file written by :func:`export_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def flatten_series(series: Mapping[str, Mapping[str, float]]) -> list:
+    """Flatten a ``{row: {column: value}}`` series into a list of dict rows."""
+    flattened = []
+    for row_name, columns in series.items():
+        record = {"row": row_name}
+        record.update(columns)
+        flattened.append(record)
+    return flattened
+
+
+def export_series_csv(series: Mapping[str, Mapping[str, float]], path: PathLike) -> Path:
+    """Write a ``{row: {column: value}}`` series to a CSV file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = flatten_series(series)
+    fieldnames = ["row"]
+    for record in rows:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

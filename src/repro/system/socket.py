@@ -1,0 +1,309 @@
+"""A socket: cores + private L1s + shared LLC + optional DRAM cache + memory.
+
+The socket implements the *intra-socket* part of the memory system (Fig. 1):
+per-core L1s kept coherent through a local directory embedded in the LLC,
+with the LLC inclusive of the L1s.  Anything the socket cannot satisfy
+on-chip is handed to the global coherence protocol
+(:mod:`repro.coherence.protocol_base`), which owns the DRAM cache probing,
+the global directory and the interconnect.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..caches.block import CacheBlockState
+from ..caches.dram_cache import DRAMCache
+from ..caches.miss_predictor import RegionMissPredictor
+from ..caches.sram_cache import SetAssociativeCache
+from ..coherence.local_directory import LocalDirectory
+from ..coherence.messages import MissResult, ServiceSource
+from ..memory.address import AddressLayout
+from ..memory.main_memory import MemoryController
+from ..stats.counters import SimulationStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..coherence.protocol_base import GlobalCoherenceProtocol
+    from .config import SystemConfig
+    from .numa_system import NumaSystem
+
+__all__ = ["Socket"]
+
+
+class Socket:
+    """One NUMA socket of the simulated machine."""
+
+    def __init__(
+        self,
+        socket_id: int,
+        config: "SystemConfig",
+        system: "NumaSystem",
+        *,
+        with_dram_cache: bool,
+    ) -> None:
+        self.socket_id = socket_id
+        self.config = config
+        self.system = system
+        self.layout: AddressLayout = system.layout
+
+        # -- latencies (ns) -------------------------------------------------
+        self.l1_latency_ns = config.l1.latency_ns
+        self.llc_latency_ns = config.llc.latency_ns
+        self.dram_cache_latency_ns = config.dram_cache.latency_ns
+        self.dram_predictor_latency_ns = config.dram_cache.predictor_latency_ns
+        self.snoop_filter_latency_ns = config.directory.snoop_filter_latency_ns
+
+        # -- per-core L1s ---------------------------------------------------
+        self.l1s: List[SetAssociativeCache] = [
+            SetAssociativeCache(
+                config.l1.size_bytes,
+                config.l1.associativity,
+                block_size=config.block_size,
+                name=f"socket{socket_id}.l1[{i}]",
+            )
+            for i in range(config.cores_per_socket)
+        ]
+
+        # -- shared LLC + local directory -------------------------------------
+        self.llc = SetAssociativeCache(
+            config.llc.size_bytes,
+            config.llc.associativity,
+            block_size=config.block_size,
+            name=f"socket{socket_id}.llc",
+        )
+        self.local_directory = LocalDirectory(
+            latency_ns=config.directory.local_latency_ns,
+            name=f"socket{socket_id}.local_dir",
+        )
+
+        # -- optional DRAM cache ------------------------------------------------
+        self.dram_cache: Optional[DRAMCache] = None
+        if with_dram_cache and config.dram_cache.enabled:
+            predictor = RegionMissPredictor(
+                entries=config.dram_cache.predictor_entries,
+                region_size=config.dram_cache.region_size,
+                layout=self.layout,
+            )
+            clean = system.protocol_is_clean
+            self.dram_cache = DRAMCache(
+                config.dram_cache.size_bytes,
+                block_size=config.block_size,
+                clean=clean,
+                name=f"socket{socket_id}.dram_cache",
+                miss_predictor=predictor,
+            )
+
+        # -- local memory ---------------------------------------------------------
+        self.memory = MemoryController(
+            latency_ns=config.memory.latency_ns,
+            channels=config.memory.channels,
+            channel_bandwidth_gbps=config.memory.channel_bandwidth_gbps,
+            block_size=config.block_size,
+            infinite_bandwidth=config.memory.infinite_bandwidth,
+        )
+
+        #: Set by the system after the protocol is constructed.
+        self.protocol: Optional["GlobalCoherenceProtocol"] = None
+        self._core_ids = [
+            socket_id * config.cores_per_socket + i for i in range(config.cores_per_socket)
+        ]
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> SimulationStats:
+        return self.system.stats
+
+    @property
+    def core_ids(self) -> List[int]:
+        """Global core ids housed by this socket."""
+        return list(self._core_ids)
+
+    def local_index_of(self, core_id: int) -> int:
+        """Map a global core id to the socket-local L1 index."""
+        return core_id - self._core_ids[0]
+
+    # ------------------------------------------------------------------
+    # The demand access path
+    # ------------------------------------------------------------------
+
+    def access(
+        self, now: float, core_index: int, block: int, *, is_write: bool, thread_id: int
+    ) -> Tuple[float, ServiceSource]:
+        """Service one demand access from core ``core_index`` of this socket.
+
+        Returns ``(latency_ns, source)`` where ``latency_ns`` is the critical
+        path of the access and ``source`` identifies which level ultimately
+        provided the data (or write permission).
+        """
+        l1 = self.l1s[core_index]
+        latency = self.l1_latency_ns
+        l1_line = l1.lookup(block)
+
+        if l1_line is not None and (not is_write or l1_line.state is CacheBlockState.MODIFIED):
+            self.stats.l1_hits += 1
+            if is_write:
+                l1_line.dirty = True
+                llc_line = self.llc.peek(block)
+                if llc_line is not None:
+                    llc_line.dirty = True
+            return latency, ServiceSource.L1
+        self.stats.l1_misses += 1
+
+        # LLC level (local directory consulted in parallel with the tag check).
+        latency += self.local_directory.latency_ns
+        llc_line = self.llc.lookup(block)
+
+        if llc_line is not None:
+            latency += self.llc_latency_ns
+            self.stats.llc_hits += 1
+            if not is_write:
+                latency += self._peer_intervention(core_index, block)
+                self._fill_l1(core_index, block, modified=False)
+                return latency, ServiceSource.LLC
+            if llc_line.state is CacheBlockState.MODIFIED:
+                self._local_write_update(core_index, block)
+                return latency, ServiceSource.LLC
+            # Shared in the LLC: data is present but Modified permission is not.
+            result = self.protocol.write_miss(
+                now + latency, self.socket_id, block,
+                thread_id=thread_id, has_shared_copy=True,
+            )
+            latency += result.latency
+            self.llc.set_state(block, CacheBlockState.MODIFIED, dirty=True)
+            self._local_write_update(core_index, block)
+            return latency, result.source
+
+        # LLC miss: hand the request to the global protocol.
+        self.stats.llc_misses += 1
+        if is_write:
+            result = self.protocol.write_miss(
+                now + latency, self.socket_id, block,
+                thread_id=thread_id, has_shared_copy=False,
+            )
+        else:
+            result = self.protocol.read_miss(now + latency, self.socket_id, block)
+        latency += result.latency
+        self._record_service(result)
+        self._fill(now + latency, core_index, block, modified=is_write)
+        return latency, result.source
+
+    # ------------------------------------------------------------------
+    # Intra-socket mechanics
+    # ------------------------------------------------------------------
+
+    def _peer_intervention(self, core_index: int, block: int) -> float:
+        """If a peer core's L1 owns the block modified, source it from there."""
+        owner = self.local_directory.owner_of(block)
+        if owner is None or owner == core_index:
+            return 0.0
+        self.stats.llc_peer_hits += 1
+        self.local_directory.peer_interventions += 1
+        # The owner is downgraded to Shared; the LLC copy is made current.
+        owner_line = self.l1s[owner].peek(block)
+        if owner_line is not None:
+            owner_line.state = CacheBlockState.SHARED
+        entry = self.local_directory.peek(block)
+        if entry is not None:
+            entry.owner = None
+        return self.l1_latency_ns
+
+    def _local_write_update(self, core_index: int, block: int) -> None:
+        """Give core ``core_index`` the only L1 copy and mark everything dirty."""
+        peers = self.local_directory.record_write(block, core_index)
+        for peer in peers:
+            self.l1s[peer].invalidate(block)
+        self._fill_l1(core_index, block, modified=True)
+        llc_line = self.llc.peek(block)
+        if llc_line is not None:
+            llc_line.state = CacheBlockState.MODIFIED
+            llc_line.dirty = True
+
+    def _fill_l1(self, core_index: int, block: int, *, modified: bool) -> None:
+        l1 = self.l1s[core_index]
+        state = CacheBlockState.MODIFIED if modified else CacheBlockState.SHARED
+        victim = l1.insert(block, state, dirty=modified)
+        self.local_directory.record_fill(block, core_index, modified=modified)
+        if victim is not None:
+            self.local_directory.record_eviction(victim.block, core_index)
+            if victim.dirty:
+                # Write the L1 victim's data back into the (inclusive) LLC.
+                llc_line = self.llc.peek(victim.block)
+                if llc_line is not None:
+                    llc_line.dirty = True
+
+    def _fill(self, now: float, core_index: int, block: int, *, modified: bool) -> None:
+        """Install a fill returned by the global protocol into LLC + L1."""
+        state = CacheBlockState.MODIFIED if modified else CacheBlockState.SHARED
+        victim = self.llc.insert(block, state, dirty=modified)
+        if victim is not None:
+            self._handle_llc_victim(now, victim.block, victim.dirty)
+        self._fill_l1(core_index, block, modified=modified)
+
+    def _handle_llc_victim(self, now: float, victim_block: int, dirty: bool) -> None:
+        """Back-invalidate L1 copies of the victim and hand it to the protocol."""
+        cores_with_copy = self.local_directory.invalidate_block(victim_block)
+        victim_dirty = dirty
+        for core in cores_with_copy:
+            line = self.l1s[core].invalidate(victim_block)
+            if line is not None and line.dirty:
+                victim_dirty = True
+        self.protocol.llc_eviction(now, self.socket_id, victim_block, dirty=victim_dirty)
+
+    # ------------------------------------------------------------------
+    # Entry points used by the global protocols on remote sockets
+    # ------------------------------------------------------------------
+
+    def invalidate_onchip(self, block: int) -> bool:
+        """Invalidate any LLC / L1 copies of ``block``; returns True if one existed."""
+        had_copy = False
+        for core in self.local_directory.invalidate_block(block):
+            self.l1s[core].invalidate(block)
+            had_copy = True
+        if self.llc.invalidate(block) is not None:
+            had_copy = True
+        return had_copy
+
+    def downgrade_block(self, block: int) -> bool:
+        """Downgrade an on-chip Modified copy to Shared; returns True if it was dirty."""
+        was_dirty = False
+        entry = self.local_directory.peek(block)
+        if entry is not None:
+            for core in list(entry.sharers):
+                line = self.l1s[core].peek(block)
+                if line is not None:
+                    if line.dirty:
+                        was_dirty = True
+                    line.state = CacheBlockState.SHARED
+                    line.dirty = False
+            entry.owner = None
+        llc_line = self.llc.peek(block)
+        if llc_line is not None:
+            if llc_line.dirty:
+                was_dirty = True
+            self.llc.downgrade(block)
+        return was_dirty
+
+    # ------------------------------------------------------------------
+    # Statistics plumbing
+    # ------------------------------------------------------------------
+
+    def _record_service(self, result: MissResult) -> None:
+        source = result.source
+        if source is ServiceSource.LOCAL_DRAM_CACHE:
+            self.stats.served_local_dram_cache += 1
+        elif source is ServiceSource.LOCAL_MEMORY:
+            self.stats.served_local_memory += 1
+        elif source is ServiceSource.REMOTE_MEMORY:
+            self.stats.served_remote_memory += 1
+        elif source is ServiceSource.REMOTE_LLC:
+            self.stats.served_remote_llc += 1
+        elif source is ServiceSource.REMOTE_DRAM_CACHE:
+            self.stats.served_remote_dram_cache += 1
+        self.stats.llc_miss_latency.add(result.latency)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dram = "+DRAM$" if self.dram_cache is not None else ""
+        return f"Socket({self.socket_id}{dram})"

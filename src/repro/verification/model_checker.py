@@ -1,0 +1,145 @@
+"""Explicit-state model checker for the abstract C3D protocol model.
+
+Performs a breadth-first exploration of every state reachable from the
+initial state by interleaving the abstract actions (reads, writes, LLC
+evictions, DRAM-cache evictions from every socket), checking the structural
+invariants and the data-value (per-location SC) invariant after every
+transition -- the reproduction-scale analogue of the paper's Murphi
+verification.
+
+The FRESH/STALE value abstraction keeps the state space finite (a few
+thousand states for 2-4 sockets), so the full space is explored in well under
+a second; no depth bound is needed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .protocol_model import (
+    AbstractMachineState,
+    C3DAbstractModel,
+    InvariantViolation,
+    ProtocolVariant,
+)
+
+__all__ = ["CheckResult", "ModelChecker", "check_protocol"]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a model-checking run."""
+
+    variant: ProtocolVariant
+    num_sockets: int
+    states_explored: int
+    transitions_explored: int
+    violations: List[InvariantViolation] = field(default_factory=list)
+    counterexample: Optional[List[str]] = None
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"[{status}] {self.variant.value} protocol, {self.num_sockets} sockets: "
+            f"{self.states_explored} states, {self.transitions_explored} transitions"
+        ]
+        for violation in self.violations[:10]:
+            lines.append(
+                f"  violated {violation.invariant} on {violation.action}: {violation.detail}"
+            )
+        if self.counterexample:
+            lines.append("  counterexample trace: " + " -> ".join(self.counterexample))
+        return "\n".join(lines)
+
+
+class ModelChecker:
+    """Breadth-first exhaustive explorer of the abstract protocol."""
+
+    def __init__(self, model: C3DAbstractModel, *, max_states: int = 200_000) -> None:
+        self.model = model
+        self.max_states = max_states
+
+    def run(self, *, stop_at_first_violation: bool = True) -> CheckResult:
+        """Explore the reachable state space and check invariants."""
+        model = self.model
+        initial = model.initial_state()
+        result = CheckResult(
+            variant=model.variant, num_sockets=model.num_sockets,
+            states_explored=0, transitions_explored=0,
+        )
+
+        # parent map for counterexample reconstruction: state -> (parent, action)
+        parents: Dict[AbstractMachineState, Tuple[Optional[AbstractMachineState], str]] = {
+            initial: (None, "<init>")
+        }
+        queue = deque([initial])
+
+        initial_violations = model.check_invariants(initial, "<init>")
+        if initial_violations:
+            result.violations.extend(initial_violations)
+            result.counterexample = ["<init>"]
+            if stop_at_first_violation:
+                return result
+
+        while queue:
+            state = queue.popleft()
+            result.states_explored += 1
+            if result.states_explored > self.max_states:
+                raise RuntimeError(
+                    f"state-space explosion: more than {self.max_states} states; "
+                    "increase max_states or reduce num_sockets"
+                )
+
+            for action, successor in model.actions(state):
+                result.transitions_explored += 1
+                violations = model.check_invariants(successor, action)
+                if action.startswith("read["):
+                    socket_id = int(action[action.index("[") + 1 : action.index("]")])
+                    violations.extend(
+                        model.check_read_value(
+                            successor, socket_id, model.last_read_was_fresh(), action
+                        )
+                    )
+                if violations:
+                    result.violations.extend(violations)
+                    if result.counterexample is None:
+                        result.counterexample = self._trace(parents, state) + [action]
+                    if stop_at_first_violation:
+                        return result
+                if successor not in parents:
+                    parents[successor] = (state, action)
+                    queue.append(successor)
+        return result
+
+    @staticmethod
+    def _trace(
+        parents: Dict[AbstractMachineState, Tuple[Optional[AbstractMachineState], str]],
+        state: AbstractMachineState,
+    ) -> List[str]:
+        """Reconstruct the action sequence leading to ``state``."""
+        actions: List[str] = []
+        current: Optional[AbstractMachineState] = state
+        while current is not None:
+            parent, action = parents[current]
+            if parent is not None:
+                actions.append(action)
+            current = parent
+        return list(reversed(actions))
+
+
+def check_protocol(
+    variant: ProtocolVariant = ProtocolVariant.CLEAN,
+    *,
+    num_sockets: int = 2,
+    stop_at_first_violation: bool = True,
+) -> CheckResult:
+    """Convenience wrapper: build the model and run the checker."""
+    model = C3DAbstractModel(num_sockets=num_sockets, variant=variant)
+    checker = ModelChecker(model)
+    return checker.run(stop_at_first_violation=stop_at_first_violation)

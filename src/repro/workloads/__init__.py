@@ -1,0 +1,33 @@
+"""Workload substrate: synthetic trace generators for the paper's benchmarks."""
+
+from .cloudsuite import CLOUDSUITE_SPECS, cloudsuite_names
+from .parsec import PARSEC_SPECS, parsec_names
+from .registry import (
+    EVALUATED_WORKLOADS,
+    WORKLOAD_SPECS,
+    get_spec,
+    make_workload,
+    workload_names,
+)
+from .spec_suite import SPEC_SPECS, spec_names
+from .synthetic import REGION_NAMES, SyntheticWorkload, WorkloadSpec
+from .trace import MemoryAccess, materialise
+
+__all__ = [
+    "MemoryAccess",
+    "materialise",
+    "WorkloadSpec",
+    "SyntheticWorkload",
+    "REGION_NAMES",
+    "PARSEC_SPECS",
+    "CLOUDSUITE_SPECS",
+    "SPEC_SPECS",
+    "WORKLOAD_SPECS",
+    "EVALUATED_WORKLOADS",
+    "workload_names",
+    "make_workload",
+    "get_spec",
+    "parsec_names",
+    "cloudsuite_names",
+    "spec_names",
+]

@@ -1,0 +1,103 @@
+"""Workload registry: every benchmark the paper evaluates, by name.
+
+The registry is the single entry point used by the examples, the experiment
+harness and the benchmarks:
+
+>>> from repro.workloads import make_workload, workload_names
+>>> workload_names()[:3]
+['facesim', 'streamcluster', 'fluidanimate']
+>>> wl = make_workload("streamcluster", scale=256, accesses_per_thread=5000)
+>>> wl.num_threads
+32
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .cloudsuite import CLOUDSUITE_SPECS
+from .parsec import PARSEC_SPECS
+from .spec_suite import SPEC_SPECS
+from .synthetic import SyntheticWorkload, WorkloadSpec
+
+__all__ = [
+    "WORKLOAD_SPECS",
+    "EVALUATED_WORKLOADS",
+    "workload_names",
+    "make_workload",
+    "get_spec",
+]
+
+#: All specs known to the registry, including the single-threaded mcf.
+WORKLOAD_SPECS: Dict[str, WorkloadSpec] = {}
+WORKLOAD_SPECS.update(PARSEC_SPECS)
+WORKLOAD_SPECS.update(CLOUDSUITE_SPECS)
+WORKLOAD_SPECS.update(SPEC_SPECS)
+
+#: The nine multi-threaded workloads used in the paper's main evaluation
+#: (Figs. 2, 3, 6-11 and Table I), in plotting order.
+EVALUATED_WORKLOADS: List[str] = [
+    "facesim",
+    "streamcluster",
+    "fluidanimate",
+    "canneal",
+    "freqmine",
+    "nutch",
+    "cassandra",
+    "classification",
+    "tunkrank",
+]
+
+
+def workload_names(*, include_spec: bool = False) -> List[str]:
+    """Names of the evaluated workloads (optionally including mcf)."""
+    names = list(EVALUATED_WORKLOADS)
+    if include_spec:
+        names.extend(SPEC_SPECS)
+    return names
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Look up a workload spec by name."""
+    try:
+        return WORKLOAD_SPECS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; known workloads: {sorted(WORKLOAD_SPECS)}"
+        ) from exc
+
+
+def make_workload(
+    name: str,
+    *,
+    scale: int = 1,
+    accesses_per_thread: int = 20_000,
+    num_threads: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> SyntheticWorkload:
+    """Instantiate a workload generator by benchmark name.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name (see :data:`WORKLOAD_SPECS`).
+    scale:
+        Divide all region sizes by this factor; pass the same factor given to
+        :meth:`repro.system.config.SystemConfig.scaled`.
+    accesses_per_thread:
+        Trace length per thread.
+    num_threads:
+        Override the spec's thread count (e.g. to match a smaller test
+        machine).
+    seed:
+        Override the spec's RNG seed (for independent trials).
+    """
+    spec = get_spec(name)
+    if num_threads is not None:
+        spec = spec.with_threads(num_threads)
+    if seed is not None:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, seed=seed)
+    spec = spec.scaled(scale)
+    return SyntheticWorkload(spec, accesses_per_thread=accesses_per_thread)

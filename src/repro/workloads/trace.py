@@ -1,0 +1,38 @@
+"""Trace record format consumed by the simulation driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+__all__ = ["MemoryAccess", "materialise"]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference from a core's trace.
+
+    Attributes
+    ----------
+    addr:
+        Byte address referenced.
+    is_write:
+        True for stores, False for loads.
+    gap:
+        Number of non-memory instructions executed since the previous memory
+        reference (the 1-IPC core charges one cycle per such instruction).
+    """
+
+    addr: int
+    is_write: bool = False
+    gap: int = 0
+
+
+def materialise(stream: Iterable[MemoryAccess], limit: int = None) -> List[MemoryAccess]:
+    """Collect (a prefix of) a trace stream into a list, mainly for tests."""
+    out: List[MemoryAccess] = []
+    for i, access in enumerate(stream):
+        if limit is not None and i >= limit:
+            break
+        out.append(access)
+    return out

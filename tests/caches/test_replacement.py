@@ -1,0 +1,58 @@
+"""Tests for the cache replacement policies."""
+
+import pytest
+
+from repro.caches.block import CacheLine
+from repro.caches.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_replacement_policy,
+)
+
+
+def lines(n):
+    return [CacheLine(block=i) for i in range(n)]
+
+
+def test_lru_victim_is_least_recently_used():
+    policy = LRUPolicy()
+    candidates = lines(3)
+    for line in candidates:
+        policy.on_insert(line)
+    policy.touch(candidates[0])
+    victim = policy.choose_victim(candidates)
+    assert victim is candidates[1]
+
+
+def test_fifo_ignores_touches():
+    policy = FIFOPolicy()
+    candidates = lines(3)
+    for line in candidates:
+        policy.on_insert(line)
+    policy.touch(candidates[0])   # should not change insertion order
+    victim = policy.choose_victim(candidates)
+    assert victim is candidates[0]
+
+
+def test_random_is_deterministic_with_seed():
+    a = RandomPolicy(seed=7)
+    b = RandomPolicy(seed=7)
+    candidates = lines(8)
+    picks_a = [a.choose_victim(candidates).block for _ in range(10)]
+    picks_b = [b.choose_victim(candidates).block for _ in range(10)]
+    assert picks_a == picks_b
+
+
+def test_random_victim_is_a_candidate():
+    policy = RandomPolicy(seed=1)
+    candidates = lines(4)
+    assert policy.choose_victim(candidates) in candidates
+
+
+def test_factory():
+    assert isinstance(make_replacement_policy("lru"), LRUPolicy)
+    assert isinstance(make_replacement_policy("FIFO"), FIFOPolicy)
+    assert isinstance(make_replacement_policy("random", seed=3), RandomPolicy)
+    with pytest.raises(ValueError):
+        make_replacement_policy("plru")

@@ -1,0 +1,49 @@
+"""Tests for the clean write-through policy objects."""
+
+from repro.caches.dram_cache import DRAMCache
+from repro.core.clean_dram_cache import CleanWriteThroughPolicy, DirtyVictimCachePolicy
+
+
+def test_clean_policy_dirty_victim():
+    policy = CleanWriteThroughPolicy()
+    decision = policy.on_llc_eviction(dirty=True)
+    assert decision.insert_in_dram_cache
+    assert not decision.insert_dirty
+    assert decision.write_through_to_memory
+
+
+def test_clean_policy_clean_victim():
+    policy = CleanWriteThroughPolicy()
+    decision = policy.on_llc_eviction(dirty=False)
+    assert decision.insert_in_dram_cache
+    assert not decision.insert_dirty
+    assert not decision.write_through_to_memory
+
+
+def test_clean_policy_without_dram_cache_degenerates_to_writeback():
+    policy = CleanWriteThroughPolicy()
+    decision = policy.on_llc_eviction(dirty=True, has_dram_cache=False)
+    assert not decision.insert_in_dram_cache
+    assert decision.write_through_to_memory
+
+
+def test_dirty_policy_absorbs_victims():
+    policy = DirtyVictimCachePolicy()
+    decision = policy.on_llc_eviction(dirty=True)
+    assert decision.insert_in_dram_cache
+    assert decision.insert_dirty
+    assert not decision.write_through_to_memory
+
+
+def test_policy_flags():
+    assert CleanWriteThroughPolicy.keeps_cache_clean
+    assert not DirtyVictimCachePolicy.keeps_cache_clean
+
+
+def test_validate_cache_checks_clean_invariant():
+    clean_cache = DRAMCache(1024, clean=True)
+    clean_cache.insert(1, dirty=True)
+    assert CleanWriteThroughPolicy.validate_cache(clean_cache)
+    dirty_cache = DRAMCache(1024, clean=False)
+    dirty_cache.insert(1, dirty=True)
+    assert not CleanWriteThroughPolicy.validate_cache(dirty_cache)

@@ -1,0 +1,51 @@
+"""Tests for the per-core TLB."""
+
+import pytest
+
+from repro.cpu.tlb import TLB
+
+
+def test_miss_then_hit():
+    tlb = TLB(entries=4)
+    assert tlb.access(1) == 0.0  # default miss penalty is zero
+    assert tlb.misses == 1
+    tlb.access(1)
+    assert tlb.hits == 1
+    assert 1 in tlb
+
+
+def test_miss_penalty_charged():
+    tlb = TLB(entries=4, miss_penalty_ns=30.0)
+    assert tlb.access(1) == 30.0
+    assert tlb.access(1) == 0.0
+
+
+def test_lru_eviction():
+    tlb = TLB(entries=2)
+    tlb.access(1)
+    tlb.access(2)
+    tlb.access(1)      # make page 2 the LRU entry
+    tlb.access(3)      # evicts page 2
+    assert 2 not in tlb
+    assert 1 in tlb and 3 in tlb
+    assert len(tlb) == 2
+
+
+def test_flush():
+    tlb = TLB(entries=4)
+    tlb.access(1)
+    tlb.flush()
+    assert len(tlb) == 0
+
+
+def test_hit_rate():
+    tlb = TLB(entries=4)
+    assert tlb.hit_rate() == 0.0
+    tlb.access(1)
+    tlb.access(1)
+    assert tlb.hit_rate() == pytest.approx(0.5)
+
+
+def test_requires_positive_entries():
+    with pytest.raises(ValueError):
+        TLB(entries=0)

@@ -1,0 +1,97 @@
+"""Cross-protocol integration tests.
+
+These tests run the same synthetic workload through every design and check
+the relationships the paper's argument rests on, at a scale small enough for
+the unit-test suite.
+"""
+
+import pytest
+
+from repro.system.numa_system import PROTOCOL_REGISTRY, NumaSystem
+from repro.system.simulator import Simulator
+from repro.workloads.registry import make_workload
+
+from ..conftest import tiny_config
+
+
+def run_protocol(protocol, workload_name="streamcluster", accesses=400, **config_kwargs):
+    system = NumaSystem(tiny_config(protocol, **config_kwargs))
+    workload = make_workload(
+        workload_name, scale=4096, accesses_per_thread=accesses,
+        num_threads=system.num_cores,
+    )
+    simulator = Simulator(system, workload)
+    result = simulator.run(prewarm=True)
+    return system, result
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOL_REGISTRY))
+def test_every_protocol_preserves_invariants(protocol):
+    system, result = run_protocol(protocol)
+    assert result.accesses_executed > 0
+    assert system.check_invariants() == []
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOL_REGISTRY))
+def test_every_protocol_finishes_with_plausible_amat(protocol):
+    _system, result = run_protocol(protocol)
+    amat = result.stats.amat_ns()
+    # AMAT must lie between an L1 hit and a few memory round trips.
+    assert 0.3 < amat < 500.0
+
+
+def test_clean_designs_never_serve_reads_from_remote_dram_caches():
+    for protocol in ("c3d", "c3d-full-dir"):
+        _system, result = run_protocol(protocol)
+        assert result.stats.served_remote_dram_cache == 0
+
+
+def test_dirty_designs_do_use_remote_dram_caches_under_write_sharing():
+    _system, result = run_protocol("full-dir", workload_name="fluidanimate", accesses=800)
+    assert result.stats.served_remote_dram_cache > 0
+
+
+def test_dram_cache_designs_reduce_memory_reads_vs_baseline():
+    _base_sys, base = run_protocol("baseline")
+    for protocol in ("c3d", "full-dir", "snoopy"):
+        _sys, result = run_protocol(protocol)
+        assert result.stats.memory_reads < base.stats.memory_reads
+
+
+def test_c3d_write_traffic_matches_baseline_within_tolerance():
+    """C3D's caches are write-through, so memory writes stay close to baseline."""
+    _base_sys, base = run_protocol("baseline")
+    _c3d_sys, c3d = run_protocol("c3d")
+    assert c3d.stats.memory_writes == pytest.approx(base.stats.memory_writes, rel=0.35)
+
+
+def test_c3d_full_dir_never_broadcasts_but_c3d_does():
+    _c3d_sys, c3d = run_protocol("c3d", workload_name="facesim", accesses=600)
+    _ideal_sys, ideal = run_protocol("c3d-full-dir", workload_name="facesim", accesses=600)
+    assert c3d.stats.broadcasts > 0
+    assert ideal.stats.broadcasts == 0
+
+
+def test_c3d_inter_socket_traffic_close_to_ideal_directory():
+    """Paper: C3D adds only ~5% traffic over an idealised full directory."""
+    _c3d_sys, c3d = run_protocol("c3d", workload_name="facesim", accesses=600)
+    _ideal_sys, ideal = run_protocol("c3d-full-dir", workload_name="facesim", accesses=600)
+    assert c3d.inter_socket_bytes < 2.0 * ideal.inter_socket_bytes
+
+
+def test_snoopy_generates_most_inter_socket_traffic():
+    traffic = {}
+    for protocol in ("baseline", "snoopy", "c3d"):
+        _sys, result = run_protocol(protocol, workload_name="facesim", accesses=600)
+        traffic[protocol] = result.inter_socket_bytes
+    assert traffic["snoopy"] > traffic["c3d"]
+    assert traffic["snoopy"] > traffic["baseline"]
+
+
+def test_four_socket_ring_machine_runs_all_protocols():
+    for protocol in sorted(PROTOCOL_REGISTRY):
+        system, result = run_protocol(
+            protocol, accesses=200, num_sockets=4, cores_per_socket=1, topology="ring",
+        )
+        assert system.check_invariants() == []
+        assert len(result.stats.core_finish_ns) == 4

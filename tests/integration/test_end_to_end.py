@@ -1,0 +1,62 @@
+"""End-to-end tests exercising the public API the examples/README rely on."""
+
+import pytest
+
+import repro
+from repro import (
+    EVALUATED_WORKLOADS,
+    NumaSystem,
+    SimulationResult,
+    Simulator,
+    SystemConfig,
+    amat_breakdown,
+    make_workload,
+)
+
+
+def test_public_api_quickstart_flow():
+    config = SystemConfig.quad_socket(protocol="c3d").scaled(4096)
+    system = NumaSystem(config)
+    workload = make_workload("streamcluster", scale=4096, accesses_per_thread=100,
+                             num_threads=config.total_cores)
+    result = Simulator(system, workload).run()
+    assert isinstance(result, SimulationResult)
+    assert result.total_time_ns > 0
+    assert result.amat_ns > 0
+    breakdown = amat_breakdown(result.stats)
+    assert breakdown.amat_ns == pytest.approx(result.amat_ns)
+
+
+def test_version_and_exports():
+    assert repro.__version__
+    assert "c3d" in repro.PROTOCOL_NAMES
+    assert len(EVALUATED_WORKLOADS) == 9
+    assert set(repro.PROTOCOL_REGISTRY) == set(repro.PROTOCOL_NAMES)
+
+
+def test_baseline_vs_c3d_speedup_positive_on_cache_friendly_workload():
+    """The headline claim at miniature scale: C3D beats the baseline when the
+    working set fits in the DRAM caches."""
+    times = {}
+    for protocol in ("baseline", "c3d"):
+        config = SystemConfig.quad_socket(protocol=protocol).scaled(4096)
+        system = NumaSystem(config)
+        workload = make_workload("streamcluster", scale=4096, accesses_per_thread=400,
+                                 num_threads=config.total_cores)
+        result = Simulator(system, workload).run(
+            warmup_accesses_per_core=100, prewarm=True
+        )
+        times[protocol] = result.total_time_ns
+        assert system.check_invariants() == []
+    assert times["baseline"] / times["c3d"] > 1.02
+
+
+def test_remote_fraction_matches_table_one_direction():
+    """Under first-touch, most memory accesses of a shared-data workload are
+    remote (Table I's qualitative claim)."""
+    config = SystemConfig.quad_socket(protocol="baseline").scaled(4096)
+    system = NumaSystem(config)
+    workload = make_workload("facesim", scale=4096, accesses_per_thread=300,
+                             num_threads=config.total_cores)
+    result = Simulator(system, workload).run()
+    assert result.stats.remote_memory_fraction() > 0.5

@@ -1,0 +1,80 @@
+"""Tests for the page table with private/shared classification fields."""
+
+from repro.memory.page_table import PageClassification, PageTable
+
+
+def test_first_touch_creates_private_entry():
+    table = PageTable()
+    entry, reclassified = table.touch(5, thread_id=3)
+    assert not reclassified
+    assert entry.owner_thread == 3
+    assert entry.classification is PageClassification.PRIVATE
+    assert entry.is_private
+
+
+def test_same_thread_touch_keeps_private():
+    table = PageTable()
+    table.touch(5, thread_id=3)
+    entry, reclassified = table.touch(5, thread_id=3)
+    assert not reclassified
+    assert entry.is_private
+
+
+def test_other_thread_touch_reclassifies_as_shared():
+    table = PageTable()
+    table.touch(5, thread_id=3)
+    entry, reclassified = table.touch(5, thread_id=4)
+    assert reclassified
+    assert entry.classification is PageClassification.SHARED
+    assert table.private_to_shared_transitions == 1
+
+
+def test_shared_page_stays_shared():
+    table = PageTable()
+    table.touch(5, thread_id=3)
+    table.touch(5, thread_id=4)
+    entry, reclassified = table.touch(5, thread_id=3)
+    assert not reclassified
+    assert entry.classification is PageClassification.SHARED
+
+
+def test_migration_keeps_private_and_updates_owner():
+    table = PageTable()
+    table.touch(5, thread_id=3)
+    entry, reclassified = table.touch(5, thread_id=4, migrated=True)
+    assert not reclassified
+    assert entry.is_private
+    assert entry.owner_thread == 4
+    assert table.migrations == 1
+
+
+def test_classify_unknown_page_is_shared():
+    table = PageTable()
+    assert table.classify(99) is PageClassification.SHARED
+
+
+def test_lookup_addr_uses_layout():
+    table = PageTable()
+    table.touch(2, thread_id=0)
+    entry = table.lookup_addr(2 * 4096 + 100)
+    assert entry is not None and entry.page == 2
+
+
+def test_private_and_shared_counts():
+    table = PageTable()
+    table.touch(1, thread_id=0)
+    table.touch(2, thread_id=0)
+    table.touch(2, thread_id=1)
+    assert len(table) == 2
+    assert table.private_pages() == 1
+    assert table.shared_pages() == 1
+
+
+def test_set_home_is_recorded():
+    table = PageTable()
+    table.touch(1, thread_id=0)
+    table.set_home(1, 3)
+    assert table.lookup(1).home_socket == 3
+    # setting the home of an unknown page is a no-op
+    table.set_home(42, 1)
+    assert table.lookup(42) is None

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.workload == "streamcluster"
+    assert args.protocol == "c3d"
+    assert args.sockets == 4
+    assert args.scale == 512
+
+
+def test_parser_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--protocol", "mystery"])
+
+
+def test_cli_end_to_end_tiny_run(capsys):
+    exit_code = main([
+        "--workload", "streamcluster",
+        "--protocol", "c3d",
+        "--sockets", "2",
+        "--cores-per-socket", "1",
+        "--scale", "4096",
+        "--accesses", "100",
+        "--warmup", "20",
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "AMAT" in captured.out
+    assert "coherence invariants: OK" in captured.out
+
+
+def test_cli_with_broadcast_filter_and_interleave(capsys):
+    exit_code = main([
+        "--workload", "mcf",
+        "--protocol", "c3d",
+        "--sockets", "2",
+        "--cores-per-socket", "1",
+        "--scale", "4096",
+        "--accesses", "100",
+        "--warmup", "0",
+        "--policy", "interleave",
+        "--broadcast-filter",
+        "--no-prewarm",
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "broadcasts / elided" in captured.out

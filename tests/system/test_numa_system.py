@@ -1,0 +1,89 @@
+"""Tests for machine assembly and the protocol registry."""
+
+import pytest
+
+from repro.coherence.baseline import BaselineProtocol
+from repro.core.c3d_protocol import C3DProtocol
+from repro.system.numa_system import PROTOCOL_REGISTRY, NumaSystem, build_system
+
+from ..conftest import block_homed_at, read, tiny_config, tiny_system, write
+
+
+def test_registry_contains_all_five_designs():
+    assert set(PROTOCOL_REGISTRY) == {"baseline", "snoopy", "full-dir", "c3d", "c3d-full-dir"}
+
+
+def test_build_system_wires_components():
+    system = build_system(tiny_config("c3d", num_sockets=2, cores_per_socket=2))
+    assert isinstance(system.protocol, C3DProtocol)
+    assert len(system.sockets) == 2
+    assert len(system.cores) == 4
+    assert len(system.directories) == 2
+    assert all(sock.protocol is system.protocol for sock in system.sockets)
+    assert system.num_cores == 4
+
+
+def test_baseline_system_has_no_dram_caches():
+    system = tiny_system("baseline")
+    assert isinstance(system.protocol, BaselineProtocol)
+    assert all(sock.dram_cache is None for sock in system.sockets)
+
+
+def test_dram_cache_clean_flag_follows_protocol():
+    assert all(s.dram_cache.clean for s in tiny_system("c3d").sockets)
+    assert all(not s.dram_cache.clean for s in tiny_system("full-dir").sockets)
+
+
+def test_page_classifier_only_built_when_filter_enabled():
+    assert tiny_system("c3d").page_classifier is None
+    assert tiny_system("c3d", broadcast_filter=True).page_classifier is not None
+
+
+def test_reset_measurement_preserves_cache_contents():
+    system = tiny_system("c3d")
+    block = block_homed_at(system, home=1)
+    read(system, socket_id=0, block=block)
+    assert system.stats.reads == 0 and system.stats.memory_reads == 1
+    system.reset_measurement()
+    assert system.stats.memory_reads == 0
+    assert system.inter_socket_bytes() == 0
+    assert system.sockets[0].llc.contains(block)
+
+
+def test_check_invariants_clean_on_fresh_system():
+    assert tiny_system("c3d").check_invariants() == []
+
+
+def test_check_invariants_detects_swmr_violation():
+    system = tiny_system("baseline")
+    block = block_homed_at(system, home=0)
+    write(system, socket_id=0, block=block)
+    # Corrupt the state: force a second socket to also hold the block Modified.
+    from repro.caches.block import CacheBlockState
+
+    system.sockets[1].llc.insert(block, CacheBlockState.MODIFIED, dirty=True)
+    violations = system.check_invariants()
+    assert any("Modified in multiple sockets" in v for v in violations)
+
+
+def test_check_invariants_detects_dirty_clean_cache():
+    system = tiny_system("c3d")
+    cache = system.sockets[0].dram_cache
+    cache.clean = False           # bypass the write-through policy
+    cache.insert(1234, dirty=True)
+    cache.clean = True
+    violations = system.check_invariants()
+    assert any("dirty line" in v for v in violations)
+
+
+def test_check_invariants_detects_stale_directory_owner():
+    system = tiny_system("c3d")
+    system.directories[0].set_modified(99, owner=1)
+    violations = system.check_invariants()
+    assert any("no on-chip copy" in v for v in violations)
+
+
+def test_socket_of_core_accessor():
+    system = tiny_system("c3d", num_sockets=2, cores_per_socket=2)
+    assert system.socket_of_core(3).socket_id == 1
+    assert system.core(2).core_id == 2

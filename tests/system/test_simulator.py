@@ -1,0 +1,129 @@
+"""Tests for the trace-driven simulation driver."""
+
+import pytest
+
+from repro.system.numa_system import NumaSystem
+from repro.system.simulator import Simulator
+from repro.workloads.registry import make_workload
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
+from repro.workloads.trace import MemoryAccess
+
+from ..conftest import tiny_config
+
+
+class ListWorkload:
+    """Minimal workload: an explicit list of accesses per thread."""
+
+    def __init__(self, per_thread):
+        self.per_thread = per_thread
+        self.num_threads = len(per_thread)
+
+    def stream(self, thread_id):
+        return iter(self.per_thread[thread_id])
+
+
+def make_simulator(protocol="c3d", workload=None, **config_kwargs):
+    system = NumaSystem(tiny_config(protocol, **config_kwargs))
+    if workload is None:
+        workload = ListWorkload([[MemoryAccess(addr=i * 64, gap=1) for i in range(50)]])
+    return Simulator(system, workload), system
+
+
+def test_run_executes_all_accesses():
+    simulator, system = make_simulator()
+    result = simulator.run()
+    assert result.accesses_executed == 50
+    assert system.stats.reads == 50
+    assert result.total_time_ns > 0
+    assert result.stats is system.stats
+
+
+def test_max_accesses_per_core_limits_execution():
+    simulator, _system = make_simulator()
+    result = simulator.run(max_accesses_per_core=10)
+    assert result.accesses_executed == 10
+
+
+def test_warmup_accesses_are_not_measured():
+    simulator, system = make_simulator()
+    result = simulator.run(warmup_accesses_per_core=20)
+    assert result.accesses_executed == 30
+    assert system.stats.reads == 30
+    # Warm-up left architectural state behind (caches are warm).
+    assert system.sockets[0].llc.occupancy() > 0
+
+
+def test_cores_interleave_in_time_order():
+    accesses = [[MemoryAccess(addr=(t * 1000 + i) * 64, gap=5) for i in range(30)] for t in range(4)]
+    simulator, system = make_simulator(workload=ListWorkload(accesses),
+                                       num_sockets=2, cores_per_socket=2)
+    result = simulator.run()
+    assert result.accesses_executed == 120
+    finish_times = list(result.stats.core_finish_ns.values())
+    assert len(finish_times) == 4
+    # All cores did the same amount of similar work; finish times are comparable.
+    assert max(finish_times) < 5 * min(finish_times)
+
+
+def test_prewarm_fills_dram_caches():
+    workload = make_workload("streamcluster", scale=4096, accesses_per_thread=5, num_threads=2)
+    system = NumaSystem(tiny_config("c3d", num_sockets=2, cores_per_socket=1))
+    simulator = Simulator(system, workload)
+    inserted = simulator.prewarm_dram_caches()
+    assert inserted > 0
+    assert system.sockets[0].dram_cache.occupancy() > 0
+
+
+def test_prewarm_is_noop_for_baseline():
+    workload = make_workload("streamcluster", scale=4096, accesses_per_thread=5, num_threads=2)
+    system = NumaSystem(tiny_config("baseline", num_sockets=2, cores_per_socket=1))
+    assert Simulator(system, workload).prewarm_dram_caches() == 0
+
+
+def test_prewarm_registers_sharers_for_full_dir():
+    workload = make_workload("streamcluster", scale=4096, accesses_per_thread=5, num_threads=2)
+    system = NumaSystem(tiny_config("full-dir", num_sockets=2, cores_per_socket=1))
+    Simulator(system, workload).prewarm_dram_caches()
+    assert sum(len(directory) for directory in system.directories) > 0
+
+
+def test_ft2_pins_private_pages_to_owner_socket():
+    spec = WorkloadSpec(
+        name="unit", num_threads=2,
+        private_bytes_per_thread=4096, hot_shared_bytes=4096,
+        warm_shared_bytes=8192, cold_shared_bytes=0,
+        p_private=0.5, p_hot=0.2, p_warm=0.3, p_cold=0.0,
+    )
+    workload = SyntheticWorkload(spec, accesses_per_thread=5)
+    system = NumaSystem(
+        tiny_config("c3d", num_sockets=2, cores_per_socket=1, allocation_policy="ft2")
+    )
+    simulator = Simulator(system, workload)
+    simulator.run(max_accesses_per_core=1)
+    layout = system.layout
+    regions = workload.memory_regions()
+    for region in regions:
+        page = layout.page_of(region["base"])
+        home = system.policy.home_of_page(page)
+        if region["owner_thread"] is not None:
+            expected = system.config.socket_of_core(region["owner_thread"])
+            assert home == expected
+
+
+def test_ft1_pins_shared_pages_to_socket_zero():
+    workload = make_workload("streamcluster", scale=4096, accesses_per_thread=5, num_threads=2)
+    system = NumaSystem(
+        tiny_config("c3d", num_sockets=2, cores_per_socket=1, allocation_policy="ft1")
+    )
+    Simulator(system, workload).run(max_accesses_per_core=1)
+    pages = workload.serial_init_pages()
+    assert pages
+    assert all(system.policy.home_of_page(page) == 0 for page in pages[:16])
+
+
+def test_invariants_hold_after_a_synthetic_run():
+    workload = make_workload("facesim", scale=4096, accesses_per_thread=150, num_threads=4)
+    for protocol in ("baseline", "snoopy", "full-dir", "c3d", "c3d-full-dir"):
+        system = NumaSystem(tiny_config(protocol, num_sockets=2, cores_per_socket=2))
+        Simulator(system, workload).run()
+        assert system.check_invariants() == [], protocol

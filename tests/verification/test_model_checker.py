@@ -1,0 +1,55 @@
+"""Tests for the explicit-state model checker (the paper's Murphi analogue)."""
+
+import pytest
+
+from repro.verification.model_checker import ModelChecker, check_protocol
+from repro.verification.protocol_model import C3DAbstractModel, ProtocolVariant
+
+
+def test_c3d_passes_for_two_and_three_sockets():
+    for sockets in (2, 3):
+        result = check_protocol(ProtocolVariant.CLEAN, num_sockets=sockets)
+        assert result.passed, result.summary()
+        assert result.states_explored > 10
+        assert result.transitions_explored > result.states_explored
+
+
+def test_c3d_full_dir_and_dirty_full_dir_pass():
+    assert check_protocol(ProtocolVariant.CLEAN_FULL_DIR, num_sockets=2).passed
+    assert check_protocol(ProtocolVariant.DIRTY_FULL_DIR, num_sockets=2).passed
+
+
+def test_quad_socket_c3d_passes():
+    result = check_protocol(ProtocolVariant.CLEAN, num_sockets=4)
+    assert result.passed
+    assert result.states_explored > 500
+
+
+def test_broken_protocol_is_caught_with_counterexample():
+    result = check_protocol(ProtocolVariant.BROKEN_NO_BROADCAST, num_sockets=2)
+    assert not result.passed
+    assert result.counterexample is not None
+    assert any(v.invariant in ("SWMR", "data-value") for v in result.violations)
+    assert "FAIL" in result.summary()
+
+
+def test_collect_all_violations_mode():
+    result = check_protocol(
+        ProtocolVariant.BROKEN_NO_BROADCAST, num_sockets=2, stop_at_first_violation=False
+    )
+    assert len(result.violations) >= 1
+    assert result.states_explored >= 2
+
+
+def test_state_space_limit_raises():
+    model = C3DAbstractModel(num_sockets=3, variant=ProtocolVariant.CLEAN)
+    checker = ModelChecker(model, max_states=10)
+    with pytest.raises(RuntimeError):
+        checker.run()
+
+
+def test_summary_mentions_pass_and_counts():
+    result = check_protocol(ProtocolVariant.CLEAN, num_sockets=2)
+    text = result.summary()
+    assert "PASS" in text
+    assert "states" in text

@@ -1,0 +1,110 @@
+"""Tests for the abstract protocol model used by the model checker."""
+
+from repro.verification.protocol_model import (
+    AbstractMachineState,
+    BlockState,
+    C3DAbstractModel,
+    ProtocolVariant,
+)
+
+
+def make_model(variant=ProtocolVariant.CLEAN, sockets=2):
+    return C3DAbstractModel(num_sockets=sockets, variant=variant)
+
+
+def test_initial_state_is_clean_and_invalid():
+    model = make_model()
+    state = model.initial_state()
+    assert state.memory_fresh
+    assert all(s.llc is BlockState.I and not s.dram_valid for s in state.sockets)
+    assert state.directory.state is BlockState.I
+    assert not model.check_invariants(state, "<init>")
+
+
+def test_write_makes_writer_the_unique_fresh_copy():
+    model = make_model()
+    state = model.write(model.initial_state(), 0)
+    assert state.sockets[0].llc is BlockState.M
+    assert state.sockets[0].llc_fresh
+    assert not state.memory_fresh
+    assert state.directory.state is BlockState.M
+    assert state.directory.owner == 0
+
+
+def test_read_after_remote_write_forwards_fresh_data():
+    model = make_model()
+    state = model.write(model.initial_state(), 0)
+    state = model.read(state, 1)
+    assert model.last_read_was_fresh()
+    assert state.sockets[1].llc is BlockState.S
+    assert state.memory_fresh            # write-through on the M -> S downgrade
+    assert state.directory.state is BlockState.S
+    assert state.directory.sharers == frozenset({0, 1})
+
+
+def test_clean_llc_eviction_retains_clean_dram_copy_and_updates_memory():
+    model = make_model()
+    state = model.write(model.initial_state(), 0)
+    state = model.llc_evict(state, 0)
+    socket = state.sockets[0]
+    assert socket.llc is BlockState.I
+    assert socket.dram_valid and socket.dram_fresh and not socket.dram_dirty
+    assert state.memory_fresh
+    assert state.directory.state is BlockState.I  # PutX -> Invalid in plain C3D
+
+
+def test_dirty_variant_keeps_dirty_dram_copy_and_stale_memory():
+    model = make_model(ProtocolVariant.DIRTY_FULL_DIR)
+    state = model.write(model.initial_state(), 0)
+    state = model.llc_evict(state, 0)
+    socket = state.sockets[0]
+    assert socket.dram_dirty
+    assert not state.memory_fresh
+    assert state.directory.state is BlockState.M
+
+
+def test_untracked_write_broadcast_invalidates_remote_dram_copies():
+    model = make_model()
+    state = model.write(model.initial_state(), 0)
+    state = model.llc_evict(state, 0)       # socket 0: clean DRAM copy, untracked
+    state = model.write(state, 1)            # broadcast must remove socket 0's copy
+    assert not state.sockets[0].dram_valid
+    assert not state.sockets[0].llc is BlockState.M
+    assert state.directory.owner == 1
+
+
+def test_broken_variant_leaves_stale_copy_behind():
+    model = make_model(ProtocolVariant.BROKEN_NO_BROADCAST)
+    state = model.write(model.initial_state(), 0)
+    state = model.llc_evict(state, 0)
+    state = model.write(state, 1)
+    # The stale clean copy survives in socket 0's DRAM cache...
+    assert state.sockets[0].dram_valid
+    assert not state.sockets[0].dram_fresh
+    # ...and a subsequent local read observes stale data.
+    model.read(state, 0)
+    assert not model.last_read_was_fresh()
+
+
+def test_actions_enumeration_includes_evictions_only_when_enabled():
+    model = make_model()
+    initial = model.initial_state()
+    names = [name for name, _ in model.actions(initial)]
+    assert "read[0]" in names and "write[1]" in names
+    assert not any(name.startswith("llc_evict") for name in names)
+    after_write = model.write(initial, 0)
+    names = [name for name, _ in model.actions(after_write)]
+    assert "llc_evict[0]" in names
+
+
+def test_states_are_hashable_and_comparable():
+    model = make_model()
+    a = model.write(model.initial_state(), 0)
+    b = model.write(model.initial_state(), 0)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != model.initial_state()
+
+
+def test_initial_state_socket_count():
+    assert len(AbstractMachineState.initial(4).sockets) == 4

@@ -1,0 +1,89 @@
+"""Tests for the workload registry (all benchmarks the paper evaluates)."""
+
+import pytest
+
+from repro.workloads.registry import (
+    EVALUATED_WORKLOADS,
+    WORKLOAD_SPECS,
+    get_spec,
+    make_workload,
+    workload_names,
+)
+
+
+def test_all_paper_workloads_present():
+    expected = {
+        "facesim", "streamcluster", "fluidanimate", "canneal", "freqmine",
+        "nutch", "cassandra", "classification", "tunkrank",
+    }
+    assert set(EVALUATED_WORKLOADS) == expected
+    assert expected | {"mcf"} <= set(WORKLOAD_SPECS)
+
+
+def test_workload_names_order_and_mcf_flag():
+    names = workload_names()
+    assert names == EVALUATED_WORKLOADS
+    assert "mcf" in workload_names(include_spec=True)
+    assert "mcf" not in names
+
+
+def test_get_spec_unknown_name():
+    with pytest.raises(KeyError):
+        get_spec("doesnotexist")
+
+
+def test_specs_are_32_threads_except_mcf():
+    for name in EVALUATED_WORKLOADS:
+        assert get_spec(name).num_threads == 32
+    assert get_spec("mcf").num_threads == 1
+
+
+def test_every_spec_has_large_working_set_at_paper_scale():
+    # The paper selects workloads with working sets over 100 MB.
+    for name in EVALUATED_WORKLOADS:
+        spec = get_spec(name)
+        shared = spec.hot_shared_bytes + spec.warm_shared_bytes + spec.cold_shared_bytes
+        assert shared > 100 * 2**20, name
+
+
+def test_make_workload_applies_scale_threads_and_seed():
+    workload = make_workload("streamcluster", scale=256, accesses_per_thread=10,
+                             num_threads=8, seed=7)
+    assert workload.num_threads == 8
+    assert workload.spec.seed == 7
+    assert workload.spec.warm_shared_bytes == get_spec("streamcluster").warm_shared_bytes // 256
+    assert workload.accesses_per_thread == 10
+
+
+def test_streamcluster_fits_in_dram_cache_and_canneal_does_not():
+    # These relationships drive the paper's Fig. 6 / Fig. 8 shapes.
+    dram_per_socket = 1 << 30
+    streamcluster = get_spec("streamcluster")
+    canneal = get_spec("canneal")
+    assert (
+        streamcluster.hot_shared_bytes + streamcluster.warm_shared_bytes
+        <= dram_per_socket
+    )
+    assert (
+        canneal.warm_shared_bytes + canneal.cold_shared_bytes > 2 * dram_per_socket
+    )
+
+
+def test_server_workloads_have_low_shared_write_fractions():
+    for name in ("cassandra", "classification", "tunkrank"):
+        spec = get_spec(name)
+        assert spec.write_fraction_hot <= 0.2
+        assert spec.write_fraction_warm <= 0.1
+
+
+def test_communication_heavy_workloads_have_hot_write_sharing():
+    for name in ("facesim", "fluidanimate", "nutch", "freqmine"):
+        spec = get_spec(name)
+        assert spec.write_fraction_hot >= 0.4
+        assert spec.p_hot >= 0.2
+
+
+def test_mcf_is_essentially_private():
+    spec = get_spec("mcf")
+    assert spec.p_private >= 0.9
+    assert spec.warm_shared_bytes == 0

@@ -5,6 +5,14 @@ itself so that regressions in the hot path (cache lookups, protocol
 transactions, interconnect accounting) are visible.  pytest-benchmark's
 statistics are meaningful here, so unlike the figure benchmarks this one uses
 several rounds.
+
+Both execution engines are measured: ``compiled`` (the array-backed fast
+engine) and ``object`` (the legacy one-dataclass-per-access engine the seed
+shipped with, kept as the reference implementation).  The engines produce
+bit-identical statistics -- ``tests/system/test_engine_equivalence.py`` is
+the proof -- so the ratio between the two rows is a pure infrastructure
+speedup.  ``python -m repro bench`` runs the same scenario from the command
+line and appends the numbers to ``BENCH_throughput.json``.
 """
 
 from repro.system.numa_system import NumaSystem
@@ -16,14 +24,14 @@ ACCESSES_PER_CORE = 400
 SCALE = 1024
 
 
-def run_simulation(protocol: str) -> int:
+def run_simulation(protocol: str, engine: str = "compiled") -> int:
     config = SystemConfig.quad_socket(protocol=protocol).scaled(SCALE)
     system = NumaSystem(config)
     workload = make_workload(
         "facesim", scale=SCALE, accesses_per_thread=ACCESSES_PER_CORE,
         num_threads=config.total_cores,
     )
-    result = Simulator(system, workload).run(prewarm=True)
+    result = Simulator(system, workload, engine=engine).run(prewarm=True)
     return result.accesses_executed
 
 
@@ -37,5 +45,21 @@ def test_throughput_baseline(benchmark):
 def test_throughput_c3d(benchmark):
     executed = benchmark.pedantic(
         lambda: run_simulation("c3d"), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert executed == ACCESSES_PER_CORE * 32
+
+
+def test_throughput_baseline_object_engine(benchmark):
+    executed = benchmark.pedantic(
+        lambda: run_simulation("baseline", "object"),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert executed == ACCESSES_PER_CORE * 32
+
+
+def test_throughput_c3d_object_engine(benchmark):
+    executed = benchmark.pedantic(
+        lambda: run_simulation("c3d", "object"),
+        rounds=3, iterations=1, warmup_rounds=1,
     )
     assert executed == ACCESSES_PER_CORE * 32

@@ -1,6 +1,6 @@
 """Cache substrate: SRAM caches, DRAM cache, miss predictor, replacement."""
 
-from .block import CacheBlockState, CacheLine, EvictedLine
+from .block import CacheBlockState, CacheLine
 from .dram_cache import DRAMCache, DRAMCacheProbe
 from .miss_predictor import RegionMissPredictor
 from .replacement import (
@@ -15,7 +15,6 @@ from .sram_cache import SetAssociativeCache
 __all__ = [
     "CacheBlockState",
     "CacheLine",
-    "EvictedLine",
     "SetAssociativeCache",
     "DRAMCache",
     "DRAMCacheProbe",

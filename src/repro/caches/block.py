@@ -6,7 +6,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["CacheBlockState", "CacheLine", "EvictedLine"]
+__all__ = ["CacheBlockState", "CacheLine"]
 
 
 class CacheBlockState(enum.Enum):
@@ -21,6 +21,8 @@ class CacheBlockState(enum.Enum):
     INVALID = "I"
     SHARED = "S"
     MODIFIED = "M"
+
+    __hash__ = object.__hash__  # identity hashing, C-level
 
     @property
     def is_valid(self) -> bool:
@@ -54,15 +56,8 @@ class CacheLine:
     def valid(self) -> bool:
         return self.state is not CacheBlockState.INVALID
 
-
-@dataclass
-class EvictedLine:
-    """A victim produced by an insertion."""
-
-    block: int
-    state: CacheBlockState
-    dirty: bool
-
     @property
     def needs_writeback(self) -> bool:
+        """Victim-line protocol: a dirty victim must reach memory."""
         return self.dirty
+

@@ -47,6 +47,7 @@ class RegionMissPredictor:
         self.entries = entries
         self.region_size = region_size
         self._blocks_per_region = region_size // self.layout.block_size
+        self._block_size = self.layout.block_size
         # region number -> bitmask of resident blocks, in LRU order.
         self._table: "OrderedDict[int, int]" = OrderedDict()
 
@@ -67,34 +68,30 @@ class RegionMissPredictor:
 
     # -- maintenance ----------------------------------------------------------
 
-    def _touch(self, region: int) -> None:
-        self._table.move_to_end(region)
-
-    def _allocate(self, region: int) -> None:
-        if region in self._table:
-            self._touch(region)
-            return
-        if len(self._table) >= self.entries:
-            _victim, bits = self._table.popitem(last=False)
-            if bits:
-                self.region_displacements += 1
-        self._table[region] = 0
-
     def note_insert(self, block: int) -> None:
         """Record that ``block`` was inserted into the DRAM cache."""
-        region = self.region_of_block(block)
-        self._allocate(region)
-        self._table[region] |= self._bit_of_block(block)
-        self._touch(region)
+        table = self._table
+        region = (block * self._block_size) // self.region_size
+        bits = table.get(region)
+        if bits is None:
+            if len(table) >= self.entries:
+                _victim, victim_bits = table.popitem(last=False)
+                if victim_bits:
+                    self.region_displacements += 1
+            bits = 0
+        else:
+            table.move_to_end(region)
+        table[region] = bits | (1 << (block % self._blocks_per_region))
 
     def note_evict(self, block: int) -> None:
         """Record that ``block`` left the DRAM cache (eviction or invalidation)."""
-        region = self.region_of_block(block)
-        bits = self._table.get(region)
+        table = self._table
+        region = (block * self._block_size) // self.region_size
+        bits = table.get(region)
         if bits is None:
             return
-        self._table[region] = bits & ~self._bit_of_block(block)
-        self._touch(region)
+        table[region] = bits & ~(1 << (block % self._blocks_per_region))
+        table.move_to_end(region)
 
     # -- prediction ---------------------------------------------------------
 
@@ -106,14 +103,15 @@ class RegionMissPredictor:
         displaced from the table (see the module docstring).
         """
         self.lookups += 1
-        region = self.region_of_block(block)
-        bits = self._table.get(region)
+        table = self._table
+        region = (block * self._block_size) // self.region_size
+        bits = table.get(region)
         if bits is None:
             self.untracked_lookups += 1
             self.predicted_miss += 1
             return True
-        self._touch(region)
-        if bits & self._bit_of_block(block):
+        table.move_to_end(region)
+        if bits & (1 << (block % self._blocks_per_region)):
             self.predicted_present += 1
             return False
         self.predicted_miss += 1

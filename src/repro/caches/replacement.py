@@ -5,13 +5,22 @@ provided for ablation studies (random and FIFO).  A policy instance is shared
 by all sets of a cache; per-set recency state is carried on the
 :class:`~repro.caches.block.CacheLine` objects themselves (``last_use``) plus
 a monotonically increasing counter owned by the policy.
+
+Recency-order policies (LRU, FIFO) additionally declare themselves
+**intrusive**: the cache keeps each set as an insertion-ordered dict and
+maintains recency by moving lines to the back on use, so a full set evicts
+its front line in O(1) with no victim-list allocation and no per-touch
+callback.  ``choose_victim`` remains the interface for every other policy and
+accepts any sized iterable of lines (e.g. a ``dict.values()`` view), so
+non-intrusive policies no longer pay a per-eviction ``list()`` allocation
+either.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, List
+from typing import Dict, Iterable
 
 from .block import CacheLine
 
@@ -22,6 +31,12 @@ class ReplacementPolicy(ABC):
     """Chooses a victim among the valid lines of a full set."""
 
     name = "abstract"
+    #: True when the cache can maintain this policy's recency order
+    #: intrusively (insertion-ordered set dict, O(1) front-line eviction).
+    intrusive = False
+    #: For intrusive policies: whether a hit moves the line to the back of
+    #: the recency order (LRU) or leaves the order untouched (FIFO).
+    touch_moves = False
 
     def __init__(self) -> None:
         self._tick = 0
@@ -36,16 +51,21 @@ class ReplacementPolicy(ABC):
         self.touch(line)
 
     @abstractmethod
-    def choose_victim(self, lines: List[CacheLine]) -> CacheLine:
-        """Return the line to evict from a full set (``lines`` is non-empty)."""
+    def choose_victim(self, lines: Iterable[CacheLine]) -> CacheLine:
+        """Return the line to evict from a full set.
+
+        ``lines`` is a non-empty sized iterable (list, tuple or dict view).
+        """
 
 
 class LRUPolicy(ReplacementPolicy):
     """Evict the least recently used line."""
 
     name = "lru"
+    intrusive = True
+    touch_moves = True
 
-    def choose_victim(self, lines: List[CacheLine]) -> CacheLine:
+    def choose_victim(self, lines: Iterable[CacheLine]) -> CacheLine:
         return min(lines, key=lambda line: line.last_use)
 
 
@@ -53,6 +73,8 @@ class FIFOPolicy(ReplacementPolicy):
     """Evict the line that was inserted first (insertion order only)."""
 
     name = "fifo"
+    intrusive = True
+    touch_moves = False
 
     def touch(self, line: CacheLine) -> None:  # hits do not update recency
         pass
@@ -61,7 +83,7 @@ class FIFOPolicy(ReplacementPolicy):
         self._tick += 1
         line.last_use = self._tick
 
-    def choose_victim(self, lines: List[CacheLine]) -> CacheLine:
+    def choose_victim(self, lines: Iterable[CacheLine]) -> CacheLine:
         return min(lines, key=lambda line: line.last_use)
 
 
@@ -74,8 +96,14 @@ class RandomPolicy(ReplacementPolicy):
         super().__init__()
         self._rng = random.Random(seed)
 
-    def choose_victim(self, lines: List[CacheLine]) -> CacheLine:
-        return self._rng.choice(lines)
+    def choose_victim(self, lines: Iterable[CacheLine]) -> CacheLine:
+        # randrange consumes the same RNG stream as random.choice, but works
+        # on dict views without materialising a list.
+        index = self._rng.randrange(len(lines))
+        for i, line in enumerate(lines):
+            if i == index:
+                return line
+        raise ValueError("choose_victim called with an empty set")
 
 
 _POLICIES: Dict[str, type] = {

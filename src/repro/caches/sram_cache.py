@@ -7,9 +7,9 @@ It maintains the hit/miss/eviction statistics the experiments report.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, Optional
 
-from .block import CacheBlockState, CacheLine, EvictedLine
+from .block import CacheBlockState, CacheLine
 from .replacement import LRUPolicy, ReplacementPolicy
 
 __all__ = ["SetAssociativeCache"]
@@ -56,6 +56,11 @@ class SetAssociativeCache:
         self.associativity = associativity
         self.num_sets = total_blocks // associativity
         self.replacement = replacement if replacement is not None else LRUPolicy()
+        # Intrusive recency order: each set is an insertion-ordered dict whose
+        # front entry is the victim, so LRU/FIFO evict in O(1) without the
+        # per-eviction victim-list allocation of ``choose_victim``.
+        self._intrusive = getattr(self.replacement, "intrusive", False)
+        self._touch_moves = self._intrusive and getattr(self.replacement, "touch_moves", False)
         self._sets: Dict[int, Dict[int, CacheLine]] = {}
 
         self.hits = 0
@@ -69,9 +74,6 @@ class SetAssociativeCache:
     def set_index(self, block: int) -> int:
         """Return the set index of block number ``block``."""
         return block % self.num_sets
-
-    def _set_for(self, block: int) -> Dict[int, CacheLine]:
-        return self._sets.setdefault(self.set_index(block), {})
 
     # -- queries ------------------------------------------------------------
 
@@ -89,12 +91,19 @@ class SetAssociativeCache:
 
     def lookup(self, block: int) -> Optional[CacheLine]:
         """Access ``block``: update recency and hit/miss statistics."""
-        line = self.peek(block)
+        cache_set = self._sets.get(block % self.num_sets)
+        line = cache_set.get(block) if cache_set is not None else None
         if line is None:
             self.misses += 1
             return None
         self.hits += 1
-        self.replacement.touch(line)
+        if self._touch_moves:
+            # Move to the back of the set's recency order (dicts preserve
+            # insertion order, so delete + reinsert is an O(1) move-to-end).
+            del cache_set[block]
+            cache_set[block] = line
+        elif not self._intrusive:
+            self.replacement.touch(line)
         return line
 
     # -- mutations ------------------------------------------------------------
@@ -105,32 +114,44 @@ class SetAssociativeCache:
         state: CacheBlockState = CacheBlockState.SHARED,
         *,
         dirty: bool = False,
-    ) -> Optional[EvictedLine]:
+    ) -> Optional[CacheLine]:
         """Insert ``block`` (allocating on fill) and return any victim.
 
         If the block is already resident its state/dirty bits are upgraded in
-        place and no victim is produced.
+        place and no victim is produced.  The returned victim is the displaced
+        :class:`CacheLine` itself (no per-eviction record allocation).
         """
-        cache_set = self._set_for(block)
+        index = block % self.num_sets
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = {}
         existing = cache_set.get(block)
         if existing is not None:
             existing.state = state
             existing.dirty = existing.dirty or dirty
-            self.replacement.touch(existing)
+            if self._touch_moves:
+                del cache_set[block]
+                cache_set[block] = existing
+            elif not self._intrusive:
+                self.replacement.touch(existing)
             return None
 
-        victim: Optional[EvictedLine] = None
+        victim: Optional[CacheLine] = None
         if len(cache_set) >= self.associativity:
-            victim_line = self.replacement.choose_victim(list(cache_set.values()))
-            del cache_set[victim_line.block]
-            victim = EvictedLine(victim_line.block, victim_line.state, victim_line.dirty)
+            if self._intrusive:
+                # The front of the insertion-ordered set is the LRU/FIFO victim.
+                victim = cache_set.pop(next(iter(cache_set)))
+            else:
+                victim = self.replacement.choose_victim(cache_set.values())
+                del cache_set[victim.block]
             self.evictions += 1
-            if victim_line.dirty:
+            if victim.dirty:
                 self.dirty_evictions += 1
 
         line = CacheLine(block=block, state=state, dirty=dirty)
         cache_set[block] = line
-        self.replacement.on_insert(line)
+        if not self._intrusive:
+            self.replacement.on_insert(line)
         return victim
 
     def invalidate(self, block: int) -> Optional[CacheLine]:

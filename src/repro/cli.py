@@ -5,10 +5,14 @@ Usage::
     python -m repro --workload streamcluster --protocol c3d
     python -m repro --workload facesim --protocol full-dir --sockets 2 \
         --cores-per-socket 16 --scale 1024 --accesses 2000
+    python -m repro bench                 # throughput microbenchmark
+    python -m repro bench --accesses 100  # CI-sized smoke
 
 The CLI is a thin wrapper over the public API (``SystemConfig`` /
 ``NumaSystem`` / ``Simulator``); it exists so that a single simulation can be
-launched and inspected without writing a script.
+launched and inspected without writing a script.  The ``bench`` subcommand
+(see :mod:`repro.bench`) runs the simulator-throughput microbenchmark and
+appends the result to ``BENCH_throughput.json``.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from typing import List, Optional
 from .stats.amat import amat_breakdown
 from .system.config import PROTOCOL_NAMES, SystemConfig
 from .system.numa_system import NumaSystem
-from .system.simulator import Simulator
+from .system.simulator import ENGINES, Simulator
 from .workloads.registry import WORKLOAD_SPECS, make_workload
 
 __all__ = ["build_parser", "main"]
@@ -52,10 +56,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--broadcast-filter", action="store_true",
                         help="enable the section IV-D TLB broadcast filter (C3D only)")
     parser.add_argument("--seed", type=int, default=None, help="workload RNG seed")
+    parser.add_argument("--engine", default="compiled", choices=list(ENGINES),
+                        help="execution engine (compiled = array-backed fast path)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     base = SystemConfig.dual_socket if args.sockets == 2 else SystemConfig.quad_socket
@@ -75,11 +87,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         num_threads=config.total_cores,
         seed=args.seed,
     )
+    simulator = Simulator(system, workload, engine=args.engine)
 
     print(f"machine  : {config.describe()}")
     print(f"workload : {args.workload} ({workload.num_threads} threads)")
     started = time.time()
-    result = Simulator(system, workload).run(
+    result = simulator.run(
         warmup_accesses_per_core=args.warmup,
         prewarm=not args.no_prewarm,
     )

@@ -8,6 +8,7 @@ served by a remote LLC goes to (possibly remote) main memory.
 
 from __future__ import annotations
 
+from ..interconnect.packet import MessageClass
 from .directory import DirectoryState
 from .messages import CoherenceRequestType, EvictionResult, MissResult, ServiceSource
 from .protocol_base import GlobalCoherenceProtocol
@@ -27,12 +28,12 @@ class BaselineProtocol(GlobalCoherenceProtocol):
     # ------------------------------------------------------------------
 
     def read_miss(self, now: float, requester: int, block: int) -> MissResult:
-        home = self.home_of(block)
+        home = self._home_of_block(block)
         directory = self.directories[home]
 
-        latency = self._request_to_home(now, requester, home)
+        latency = self._net_send(now, requester, home, MessageClass.REQUEST)
         latency += directory.latency_ns
-        self.stats.directory_lookups += 1
+        self.system.stats.directory_lookups += 1
         entry = directory.lookup(block)
 
         if (
@@ -49,9 +50,10 @@ class BaselineProtocol(GlobalCoherenceProtocol):
             source = ServiceSource.REMOTE_LLC
         else:
             latency += self._memory_read(now + latency, home, block, requester)
-            latency += self._data_response(now + latency, home, requester)
+            latency += self._net_send(now + latency, home, requester, MessageClass.DATA_RESPONSE)
             self._directory_note_read_sharer(directory, block, requester)
-            source = self._memory_source(home, requester)
+            source = (ServiceSource.LOCAL_MEMORY if home == requester
+                      else ServiceSource.REMOTE_MEMORY)
 
         return MissResult(latency=latency, source=source, request_type=CoherenceRequestType.GETS)
 
@@ -68,15 +70,15 @@ class BaselineProtocol(GlobalCoherenceProtocol):
         thread_id: int = 0,
         has_shared_copy: bool = False,
     ) -> MissResult:
-        home = self.home_of(block)
+        home = self._home_of_block(block)
         directory = self.directories[home]
         request_type = (
             CoherenceRequestType.UPGRADE if has_shared_copy else CoherenceRequestType.GETX
         )
 
-        latency = self._request_to_home(now, requester, home)
+        latency = self._net_send(now, requester, home, MessageClass.REQUEST)
         latency += directory.latency_ns
-        self.stats.directory_lookups += 1
+        self.system.stats.directory_lookups += 1
         entry = directory.lookup(block)
         invalidations = 0
 
@@ -108,13 +110,15 @@ class BaselineProtocol(GlobalCoherenceProtocol):
                 source = ServiceSource.LLC
             else:
                 data_latency = self._memory_read(now + latency, home, block, requester)
-                data_latency += self._data_response(now + latency + data_latency, home, requester)
-                source = self._memory_source(home, requester)
+                data_latency += self._net_send(now + latency + data_latency, home, requester,
+                                               MessageClass.DATA_RESPONSE)
+                source = (ServiceSource.LOCAL_MEMORY if home == requester
+                          else ServiceSource.REMOTE_MEMORY)
             latency += max(invalidation_latency, data_latency)
 
         directory.set_modified(block, requester)
         if has_shared_copy:
-            self.stats.upgrades += 1
+            self.system.stats.upgrades += 1
         return MissResult(
             latency=latency,
             source=source,
@@ -130,7 +134,7 @@ class BaselineProtocol(GlobalCoherenceProtocol):
         self, now: float, requester: int, block: int, *, dirty: bool
     ) -> EvictionResult:
         result = EvictionResult()
-        home = self.home_of(block)
+        home = self._home_of_block(block)
         directory = self.directories[home]
         if dirty:
             result.latency = self._memory_write(now, home, block, requester)

@@ -31,6 +31,13 @@ class DirectoryState(enum.Enum):
     SHARED = "S"
     MODIFIED = "M"
 
+    __hash__ = object.__hash__  # identity hashing, C-level
+
+
+#: Precomputed transition labels, so recording a transition does not format
+#: a string on every directory state change.
+_TRANSITION_KEYS = {}
+
 
 @dataclass
 class DirectoryEntry:
@@ -94,15 +101,22 @@ class GlobalDirectory:
         return entry
 
     def _record_transition(self, old: DirectoryState, new: DirectoryState) -> None:
-        key = f"{old.value}->{new.value}"
+        key = _TRANSITION_KEYS[(old, new)]
         self.transitions[key] = self.transitions.get(key, 0) + 1
 
     # -- state changes -------------------------------------------------------
 
     def set_modified(self, block: int, owner: int) -> DirectoryEntry:
         """Transition ``block`` to Modified with the given owner socket."""
-        entry = self._get_or_allocate(block)
-        self._record_transition(entry.state, DirectoryState.MODIFIED)
+        entries = self._entries
+        entry = entries.get(block)
+        if entry is None:
+            entry = entries[block] = DirectoryEntry(block=block)
+            self.allocations += 1
+            if len(entries) > self.peak_entries:
+                self.peak_entries = len(entries)
+        key = _TRANSITION_KEYS[(entry.state, DirectoryState.MODIFIED)]
+        self.transitions[key] = self.transitions.get(key, 0) + 1
         entry.state = DirectoryState.MODIFIED
         entry.owner = owner
         entry.sharers = {owner}
@@ -121,11 +135,18 @@ class GlobalDirectory:
 
     def add_sharer(self, block: int, socket: int) -> DirectoryEntry:
         """Add ``socket`` to the sharing vector (allocating a Shared entry)."""
-        entry = self._get_or_allocate(block)
+        entries = self._entries
+        entry = entries.get(block)
+        if entry is None:
+            entry = entries[block] = DirectoryEntry(block=block)
+            self.allocations += 1
+            if len(entries) > self.peak_entries:
+                self.peak_entries = len(entries)
         if entry.state is DirectoryState.MODIFIED:
             raise ValueError(f"add_sharer on Modified block {block:#x}")
         if entry.state is DirectoryState.INVALID:
-            self._record_transition(entry.state, DirectoryState.SHARED)
+            key = _TRANSITION_KEYS[(DirectoryState.INVALID, DirectoryState.SHARED)]
+            self.transitions[key] = self.transitions.get(key, 0) + 1
             entry.state = DirectoryState.SHARED
         entry.sharers.add(socket)
         return entry
@@ -158,6 +179,11 @@ class GlobalDirectory:
 
     def tracked_blocks(self) -> Set[int]:
         return set(self._entries)
+
+
+_TRANSITION_KEYS.update(
+    {(a, b): f"{a.value}->{b.value}" for a in DirectoryState for b in DirectoryState}
+)
 
 
 @dataclass(frozen=True)

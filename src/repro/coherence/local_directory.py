@@ -62,7 +62,9 @@ class LocalDirectory:
 
     def record_fill(self, block: int, core: int, *, modified: bool = False) -> None:
         """Record that ``core`` now holds ``block`` in its L1."""
-        entry = self._entries.setdefault(block, LocalDirectoryEntry(block=block))
+        entry = self._entries.get(block)
+        if entry is None:
+            entry = self._entries[block] = LocalDirectoryEntry(block=block)
         entry.sharers.add(core)
         if modified:
             entry.owner = core
@@ -71,7 +73,9 @@ class LocalDirectory:
 
     def record_write(self, block: int, core: int) -> Set[int]:
         """Record a write by ``core``; returns the peer cores to invalidate."""
-        entry = self._entries.setdefault(block, LocalDirectoryEntry(block=block))
+        entry = self._entries.get(block)
+        if entry is None:
+            entry = self._entries[block] = LocalDirectoryEntry(block=block)
         peers = {c for c in entry.sharers if c != core}
         if peers:
             self.peer_invalidations += len(peers)
@@ -90,12 +94,20 @@ class LocalDirectory:
         if not entry.sharers:
             del self._entries[block]
 
+    #: Shared empty result for blocks with no residency info (hot path).
+    _NO_CORES = frozenset()
+
     def invalidate_block(self, block: int) -> Set[int]:
-        """Drop all L1 residency info for ``block``; returns the cores affected."""
+        """Drop all L1 residency info for ``block``; returns the cores affected.
+
+        The returned set must be treated as read-only (the entry it came
+        from has just been dropped, so no aliasing can occur inside the
+        directory itself).
+        """
         entry = self._entries.pop(block, None)
         if entry is None:
-            return set()
-        return set(entry.sharers)
+            return self._NO_CORES
+        return entry.sharers
 
     def __len__(self) -> int:
         return len(self._entries)

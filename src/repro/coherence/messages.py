@@ -10,7 +10,7 @@ services an LLC miss.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 __all__ = ["CoherenceRequestType", "ServiceSource", "MissResult"]
@@ -23,6 +23,8 @@ class CoherenceRequestType(enum.Enum):
     GETX = "GetX"        # write request (requester lacks the data)
     UPGRADE = "Upgrade"  # write request, requester already holds the data in Shared
     PUTX = "PutX"        # write-back of modified data
+
+    __hash__ = object.__hash__  # identity hashing, C-level
 
     @property
     def is_write(self) -> bool:
@@ -42,6 +44,8 @@ class ServiceSource(enum.Enum):
     REMOTE_MEMORY = "remote_memory"
     STORE_BUFFER = "store_buffer"
 
+    __hash__ = object.__hash__  # identity hashing, C-level
+
     @property
     def is_off_socket(self) -> bool:
         return self in (
@@ -55,7 +59,7 @@ class ServiceSource(enum.Enum):
         return self in (ServiceSource.LOCAL_MEMORY, ServiceSource.REMOTE_MEMORY)
 
 
-@dataclass
+@dataclass(slots=True)
 class MissResult:
     """Outcome of a globally serviced LLC miss (or permission upgrade).
 
@@ -74,7 +78,8 @@ class MissResult:
         True when the transaction had to broadcast invalidations
         (C3D write to an untracked block).
     notes:
-        Optional free-form tags used by tests and ablations.
+        Optional free-form tags used by tests and ablations (None until a
+        tag is attached; avoids a per-miss list allocation).
     """
 
     latency: float
@@ -82,14 +87,14 @@ class MissResult:
     request_type: CoherenceRequestType
     invalidations: int = 0
     used_broadcast: bool = False
-    notes: List[str] = field(default_factory=list)
+    notes: Optional[List[str]] = None
 
     @property
     def off_socket(self) -> bool:
         return self.source.is_off_socket
 
 
-@dataclass
+@dataclass(slots=True)
 class EvictionResult:
     """Outcome of handing an LLC victim to the protocol."""
 

@@ -64,6 +64,9 @@ class GlobalCoherenceProtocol(ABC):
         self.interconnect = system.interconnect
         self.mapper = system.mapper
         self.directories: List[GlobalDirectory] = system.directories
+        # Hot-path bindings: one call layer instead of two or three.
+        self._net_send = system.interconnect.send
+        self._home_of_block = system.mapper.home_of_block
 
     @property
     def stats(self):
@@ -100,7 +103,7 @@ class GlobalCoherenceProtocol(ABC):
 
     def home_of(self, block: int) -> int:
         """Home socket of a block (where its memory and directory slice live)."""
-        return self.mapper.home_of_block(block)
+        return self._home_of_block(block)
 
     def directory_for(self, block: int) -> GlobalDirectory:
         """Directory slice responsible for ``block``."""
@@ -139,12 +142,13 @@ class GlobalCoherenceProtocol(ABC):
         Also classifies the access as local or remote relative to the
         requesting socket for the Table I / Fig. 8 statistics.
         """
-        result = self.socket(home).memory.read(now, block)
+        latency = self.sockets[home].memory.read_fast(now, block)
+        stats = self.system.stats
         if home == requester:
-            self.stats.memory_reads_local += 1
+            stats.memory_reads_local += 1
         else:
-            self.stats.memory_reads_remote += 1
-        return result.latency
+            stats.memory_reads_remote += 1
+        return latency
 
     def _memory_write(self, now: float, home: int, block: int, requester: int) -> float:
         """Write ``block`` back to its home memory (includes the data transfer).
@@ -152,14 +156,15 @@ class GlobalCoherenceProtocol(ABC):
         Returns the total latency, which callers normally keep off the
         requester's critical path.
         """
-        transfer = self._send(now, requester, home, MessageClass.WRITEBACK)
-        result = self.socket(home).memory.write(now + transfer, block)
+        transfer = self.interconnect.send(now, requester, home, MessageClass.WRITEBACK)
+        latency = self.sockets[home].memory.write_fast(now + transfer, block)
+        stats = self.system.stats
         if home == requester:
-            self.stats.memory_writes_local += 1
+            stats.memory_writes_local += 1
         else:
-            self.stats.memory_writes_remote += 1
-        self.stats.writebacks += 1
-        return transfer + result.latency
+            stats.memory_writes_remote += 1
+        stats.writebacks += 1
+        return transfer + latency
 
     # ------------------------------------------------------------------
     # DRAM-cache helpers
@@ -174,17 +179,18 @@ class GlobalCoherenceProtocol(ABC):
         predictor and, unless the predictor confidently predicted a miss, the
         DRAM array access.
         """
-        sock = self.socket(requester)
+        sock = self.sockets[requester]
         if sock.dram_cache is None:
             return False, 0.0, False
         latency = sock.dram_predictor_latency_ns
         probe = sock.dram_cache.probe(block)
         if probe.array_accessed:
             latency += sock.dram_cache_latency_ns
+        stats = self.system.stats
         if probe.hit:
-            self.stats.dram_cache_hits += 1
+            stats.dram_cache_hits += 1
         else:
-            self.stats.dram_cache_misses += 1
+            stats.dram_cache_misses += 1
         return probe.hit, latency, probe.dirty
 
     def _dram_cache_contains(self, socket_id: int, block: int) -> bool:
@@ -193,14 +199,14 @@ class GlobalCoherenceProtocol(ABC):
 
     def _insert_into_dram_cache(self, now: float, socket_id: int, block: int, *, dirty: bool) -> None:
         """Insert an LLC victim into the socket's DRAM cache and handle its victim."""
-        sock = self.socket(socket_id)
+        sock = self.sockets[socket_id]
         if sock.dram_cache is None:
             return
         victim = sock.dram_cache.insert(block, dirty=dirty)
         if victim is not None and victim.dirty:
             # A dirty DRAM-cache victim must reach its home memory
             # (only possible in the non-clean designs).
-            victim_home = self.home_of(victim.block)
+            victim_home = self._home_of_block(victim.block)
             self._memory_write(now, victim_home, victim.block, socket_id)
             self._on_dram_cache_dirty_victim(victim.block, socket_id)
         elif victim is not None:
@@ -234,18 +240,20 @@ class GlobalCoherenceProtocol(ABC):
         Returns the critical-path latency from the moment the home decided to
         forward.
         """
-        owner_socket = self.socket(owner)
-        forward = self._send(now, home, owner, MessageClass.FORWARD)
+        owner_socket = self.sockets[owner]
+        send = self._net_send
+        forward = send(now, home, owner, MessageClass.FORWARD)
         probe = owner_socket.llc_latency_ns
+        stats = self.system.stats
         if downgrade:
             was_dirty = owner_socket.downgrade_block(block)
-            self.stats.downgrades += 1
+            stats.downgrades += 1
             if was_dirty:
                 self._memory_write(now + forward + probe, home, block, owner)
         else:
             owner_socket.invalidate_onchip(block)
-            self.stats.invalidations_sent += 1
-        response = self._data_response(now + forward + probe, owner, requester)
+            stats.invalidations_sent += 1
+        response = send(now + forward + probe, owner, requester, MessageClass.DATA_RESPONSE)
         return forward + probe + response
 
     def _invalidate_remote_socket(
@@ -259,17 +267,18 @@ class GlobalCoherenceProtocol(ABC):
         message_class: MessageClass = MessageClass.INVALIDATION,
     ) -> float:
         """Invalidate every copy of ``block`` at ``target``; returns round-trip latency."""
-        target_socket = self.socket(target)
-        out = self._send(now, home, target, message_class)
+        target_socket = self.sockets[target]
+        send = self._net_send
+        out = send(now, home, target, message_class)
         probe = 0.0
         if include_dram_cache and target_socket.dram_cache is not None:
             target_socket.dram_cache.invalidate(block)
-            probe = max(probe, target_socket.dram_cache_latency_ns)
+            probe = target_socket.dram_cache_latency_ns
         if target_socket.llc.contains(block):
             probe = max(probe, target_socket.llc_latency_ns)
         target_socket.invalidate_onchip(block)
-        ack = self._send(now + out + probe, target, home, MessageClass.ACK)
-        self.stats.invalidations_sent += 1
+        ack = send(now + out + probe, target, home, MessageClass.ACK)
+        self.system.stats.invalidations_sent += 1
         return out + probe + ack
 
     def _sockets_with_onchip_copy(self, block: int, exclude: Optional[int] = None) -> List[int]:

@@ -68,20 +68,31 @@ class C3DProtocol(GlobalCoherenceProtocol):
     def read_miss(self, now: float, requester: int, block: int) -> MissResult:
         # Fast local hit: a read hit in the local DRAM cache completes with no
         # messages to remote sockets (first bullet of section IV-B summary).
-        hit, local_latency, _dirty = self._probe_local_dram_cache(now, requester, block)
-        if hit:
-            return MissResult(
-                latency=local_latency,
-                source=ServiceSource.LOCAL_DRAM_CACHE,
-                request_type=CoherenceRequestType.GETS,
-            )
+        # (Inlined _probe_local_dram_cache: this is the hottest C3D path.)
+        stats = self.system.stats
+        sock = self.sockets[requester]
+        dram_cache = sock.dram_cache
+        local_latency = 0.0
+        if dram_cache is not None:
+            local_latency = sock.dram_predictor_latency_ns
+            probe = dram_cache.probe(block)
+            if probe.array_accessed:
+                local_latency += sock.dram_cache_latency_ns
+            if probe.hit:
+                stats.dram_cache_hits += 1
+                return MissResult(
+                    latency=local_latency,
+                    source=ServiceSource.LOCAL_DRAM_CACHE,
+                    request_type=CoherenceRequestType.GETS,
+                )
+            stats.dram_cache_misses += 1
 
-        home = self.home_of(block)
+        home = self._home_of_block(block)
         directory = self.directories[home]
         latency = local_latency
-        latency += self._request_to_home(now + latency, requester, home)
+        latency += self._net_send(now + latency, requester, home, MessageClass.REQUEST)
         latency += directory.latency_ns
-        self.stats.directory_lookups += 1
+        stats.directory_lookups += 1
         entry = directory.lookup(block)
 
         if (
@@ -101,15 +112,17 @@ class C3DProtocol(GlobalCoherenceProtocol):
             source = ServiceSource.REMOTE_LLC
         elif entry is not None and entry.state is DirectoryState.SHARED:
             latency += self._memory_read(now + latency, home, block, requester)
-            latency += self._data_response(now + latency, home, requester)
+            latency += self._net_send(now + latency, home, requester, MessageClass.DATA_RESPONSE)
             directory.add_sharer(block, requester)
-            source = self._memory_source(home, requester)
+            source = (ServiceSource.LOCAL_MEMORY if home == requester
+                      else ServiceSource.REMOTE_MEMORY)
         else:
             # Invalid / untracked: memory is guaranteed valid (clean DRAM
             # caches) and the request is NOT inserted into the directory.
             latency += self._memory_read(now + latency, home, block, requester)
-            latency += self._data_response(now + latency, home, requester)
-            source = self._memory_source(home, requester)
+            latency += self._net_send(now + latency, home, requester, MessageClass.DATA_RESPONSE)
+            source = (ServiceSource.LOCAL_MEMORY if home == requester
+                      else ServiceSource.REMOTE_MEMORY)
 
         return MissResult(latency=latency, source=source, request_type=CoherenceRequestType.GETS)
 
@@ -123,19 +136,31 @@ class C3DProtocol(GlobalCoherenceProtocol):
         Returns the completion latency of the broadcast (last ack received).
         """
         worst = 0.0
-        for target in range(self.num_sockets):
+        send = self._net_send
+        stats = self.system.stats
+        sockets = self.sockets
+        broadcast_class = MessageClass.BROADCAST_INVALIDATION
+        ack_class = MessageClass.ACK
+        for target in range(len(sockets)):
             if target == requester:
                 continue
-            latency = self._invalidate_remote_socket(
-                now,
-                home,
-                target,
-                block,
-                include_dram_cache=True,
-                message_class=MessageClass.BROADCAST_INVALIDATION,
-            )
-            worst = max(worst, latency)
-        self.stats.broadcasts += 1
+            # Fused _invalidate_remote_socket (this loop is the hot C3D
+            # write path: one probe + invalidation round trip per peer).
+            target_socket = sockets[target]
+            out = send(now, home, target, broadcast_class)
+            probe = 0.0
+            if target_socket.dram_cache is not None:
+                target_socket.dram_cache.invalidate(block)
+                probe = target_socket.dram_cache_latency_ns
+            if target_socket.llc.contains(block):
+                probe = max(probe, target_socket.llc_latency_ns)
+            target_socket.invalidate_onchip(block)
+            ack = send(now + out + probe, target, home, ack_class)
+            stats.invalidations_sent += 1
+            latency = out + probe + ack
+            if latency > worst:
+                worst = latency
+        stats.broadcasts += 1
         return worst
 
     def write_miss(
@@ -150,17 +175,30 @@ class C3DProtocol(GlobalCoherenceProtocol):
         request_type = (
             CoherenceRequestType.UPGRADE if has_shared_copy else CoherenceRequestType.GETX
         )
+        stats = self.system.stats
         local_hit = False
         local_latency = 0.0
         if not has_shared_copy:
-            local_hit, local_latency, _ = self._probe_local_dram_cache(now, requester, block)
+            # Inlined _probe_local_dram_cache.
+            sock = self.sockets[requester]
+            dram_cache = sock.dram_cache
+            if dram_cache is not None:
+                local_latency = sock.dram_predictor_latency_ns
+                probe = dram_cache.probe(block)
+                if probe.array_accessed:
+                    local_latency += sock.dram_cache_latency_ns
+                local_hit = probe.hit
+                if local_hit:
+                    stats.dram_cache_hits += 1
+                else:
+                    stats.dram_cache_misses += 1
 
-        home = self.home_of(block)
+        home = self._home_of_block(block)
         directory = self.directories[home]
         latency = local_latency
-        latency += self._request_to_home(now + latency, requester, home)
+        latency += self._net_send(now + latency, requester, home, MessageClass.REQUEST)
         latency += directory.latency_ns
-        self.stats.directory_lookups += 1
+        stats.directory_lookups += 1
         entry = directory.lookup(block)
         invalidations = 0
         used_broadcast = False
@@ -201,7 +239,7 @@ class C3DProtocol(GlobalCoherenceProtocol):
             if self.broadcast_filter and self.classifier is not None:
                 skip_broadcast = self.classifier.write_is_private(thread_id, block)
             if skip_broadcast:
-                self.stats.broadcasts_elided += 1
+                stats.broadcasts_elided += 1
             else:
                 broadcast_latency = self._broadcast_invalidations(
                     now + latency, requester, home, block
@@ -219,7 +257,7 @@ class C3DProtocol(GlobalCoherenceProtocol):
 
         directory.set_modified(block, requester)
         if has_shared_copy:
-            self.stats.upgrades += 1
+            stats.upgrades += 1
         return MissResult(
             latency=latency,
             source=source,
@@ -246,8 +284,10 @@ class C3DProtocol(GlobalCoherenceProtocol):
             # accessed (its copy is identical).
             return 0.0, ServiceSource.LOCAL_DRAM_CACHE
         data_latency = self._memory_read(now, home, block, requester)
-        data_latency += self._data_response(now + data_latency, home, requester)
-        return data_latency, self._memory_source(home, requester)
+        data_latency += self._net_send(now + data_latency, home, requester,
+                                       MessageClass.DATA_RESPONSE)
+        return data_latency, (ServiceSource.LOCAL_MEMORY if home == requester
+                              else ServiceSource.REMOTE_MEMORY)
 
     # ------------------------------------------------------------------
     # Evictions
@@ -257,13 +297,15 @@ class C3DProtocol(GlobalCoherenceProtocol):
         self, now: float, requester: int, block: int, *, dirty: bool
     ) -> EvictionResult:
         result = EvictionResult()
-        sock = self.socket(requester)
-        home = self.home_of(block)
+        sock = self.sockets[requester]
+        home = self._home_of_block(block)
         directory = self.directories[home]
 
         if sock.dram_cache is not None:
-            # Victim cache: retain a clean copy locally regardless of dirtiness.
-            self._insert_into_dram_cache(now, requester, block, dirty=False)
+            # Victim cache: retain a clean copy locally regardless of
+            # dirtiness.  The DRAM cache is clean, so its victims never need
+            # a writeback and can be dropped on the floor directly.
+            sock.dram_cache.insert(block, dirty=False)
             result.inserted_in_dram_cache = True
 
         if dirty:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..coherence.messages import ServiceSource
+from ..caches.block import CacheBlockState
 from ..stats.counters import SimulationStats
 from .store_buffer import StoreBuffer
 from .tlb import TLB
@@ -47,6 +47,12 @@ class Core:
         self.instructions = 0
         self.loads = 0
         self.stores = 0
+        #: Socket-local L1 index, fixed at construction (hot-loop fast path).
+        self.local_index = socket.local_index_of(core_id)
+        #: This core's L1, plus whether its recency can be maintained
+        #: intrusively (LRU) -- the condition for the inlined hit path.
+        self.l1 = socket.l1s[self.local_index]
+        self._l1_fast = getattr(self.l1, "_touch_moves", False)
 
     # -- helpers --------------------------------------------------------------
 
@@ -57,7 +63,7 @@ class Core:
     @property
     def local_core_index(self) -> int:
         """Index of this core within its socket."""
-        return self.socket.local_index_of(self.core_id)
+        return self.local_index
 
     def advance_instructions(self, count: int) -> None:
         """Model ``count`` non-memory instructions at 1 IPC."""
@@ -81,6 +87,143 @@ class Core:
         else:
             self._execute_load(block)
         return self.time
+
+    def execute_fast(self, block: int, page: int, is_write: bool, gap: int) -> float:
+        """Hot-loop variant of :meth:`execute` for compiled traces.
+
+        Takes precomputed block/page numbers, hoists the attribute and
+        property lookups of the legacy path into locals and inlines the TLB,
+        the store-buffer empty checks and the L1 hit path (the L1 is LRU in
+        every evaluated configuration, so its recency update is the same
+        intrusive move the cache itself would perform).  The sequence of
+        architectural and statistics updates is identical to ``execute`` (the
+        engine equivalence golden test asserts this), only the Python-level
+        indirection differs.
+        """
+        time = self.time
+        if gap > 0:
+            time += gap * self.cycle_ns
+            self.instructions += gap
+        # Inlined TLB access (the charged latency is zero by default and the
+        # legacy path discards it; only the hit/miss accounting matters here).
+        tlb = self.tlb
+        tlb_pages = tlb._pages
+        if page in tlb_pages:
+            tlb_pages.move_to_end(page)
+            tlb.hits += 1
+        else:
+            tlb.misses += 1
+            if len(tlb_pages) >= tlb.entries:
+                tlb_pages.popitem(last=False)
+            tlb_pages[page] = None
+        self.instructions += 1
+        socket = self.socket
+        stats = socket.system.stats
+        stats.instructions += 1
+        store_buffer = self.store_buffer
+
+        if is_write:
+            self.stores += 1
+            stats.writes += 1
+            entries = store_buffer._entries
+            while entries and entries[0][0] <= time:
+                entries.popleft()
+            # Inlined L1 lookup + store hit path (see _access_fast).
+            l1 = self.l1
+            if self._l1_fast:
+                cache_set = l1._sets.get(block % l1.num_sets)
+                line = cache_set.get(block) if cache_set is not None else None
+                if line is not None:
+                    l1.hits += 1
+                    del cache_set[block]
+                    cache_set[block] = line
+                else:
+                    l1.misses += 1
+            else:
+                line = l1.lookup(block)
+            if line is not None and line.state is CacheBlockState.MODIFIED:
+                stats.l1_hits += 1
+                line.dirty = True
+                llc_line = socket.llc.peek(block)
+                if llc_line is not None:
+                    llc_line.dirty = True
+                latency = socket.l1_latency_ns
+            else:
+                stats.l1_misses += 1
+                latency, _source = socket.access_l1_missed(
+                    time, self.local_index, block, True, self.thread_id
+                )
+            result = store_buffer.push(time, block, time + latency)
+            if result.stall_ns > 0:
+                stats.store_buffer_stalls += 1
+                stats.store_buffer_stall_ns += result.stall_ns
+                time += result.stall_ns
+            time += self.cycle_ns
+            acc = stats.write_latency
+        else:
+            self.loads += 1
+            stats.reads += 1
+            if store_buffer._entries and store_buffer.forwards(block, time):
+                latency = socket.l1_latency_ns
+                stats.store_forward_hits += 1
+            else:
+                # Inlined L1 lookup + load hit path (see _access_fast).
+                l1 = self.l1
+                if self._l1_fast:
+                    cache_set = l1._sets.get(block % l1.num_sets)
+                    line = cache_set.get(block) if cache_set is not None else None
+                    if line is not None:
+                        l1.hits += 1
+                        del cache_set[block]
+                        cache_set[block] = line
+                        stats.l1_hits += 1
+                        latency = socket.l1_latency_ns
+                    else:
+                        l1.misses += 1
+                        stats.l1_misses += 1
+                        latency, _source = socket.access_l1_missed(
+                            time, self.local_index, block, False, self.thread_id
+                        )
+                else:
+                    latency = self._access_fast(time, block, False, stats)
+            time += latency
+            acc = stats.read_latency
+        acc.total += latency
+        acc.count += 1
+        if latency > acc.maximum:
+            acc.maximum = latency
+        self.time = time
+        return time
+
+    def _access_fast(self, now: float, block: int, is_write: bool, stats) -> float:
+        """Inlined L1 lookup + hit path of :meth:`Socket.access`."""
+        socket = self.socket
+        l1 = self.l1
+        if self._l1_fast:
+            cache_set = l1._sets.get(block % l1.num_sets)
+            line = cache_set.get(block) if cache_set is not None else None
+            if line is not None:
+                l1.hits += 1
+                # Intrusive LRU move-to-end, as l1.lookup would do.
+                del cache_set[block]
+                cache_set[block] = line
+            else:
+                l1.misses += 1
+        else:
+            line = l1.lookup(block)
+        if line is not None and (not is_write or line.state is CacheBlockState.MODIFIED):
+            stats.l1_hits += 1
+            if is_write:
+                line.dirty = True
+                llc_line = socket.llc.peek(block)
+                if llc_line is not None:
+                    llc_line.dirty = True
+            return socket.l1_latency_ns
+        stats.l1_misses += 1
+        latency, _source = socket.access_l1_missed(
+            now, self.local_index, block, is_write, self.thread_id
+        )
+        return latency
 
     def _execute_load(self, block: int) -> None:
         self.loads += 1

@@ -68,8 +68,10 @@ class StoreBuffer:
 
     def forwards(self, block: int, now: float) -> bool:
         """True when a load to ``block`` can be forwarded from the buffer."""
-        self.drain(now)
-        for _completion, pending_block in self._entries:
+        entries = self._entries
+        while entries and entries[0][0] <= now:
+            entries.popleft()
+        for _completion, pending_block in entries:
             if pending_block == block:
                 self.forward_hits += 1
                 return True
@@ -85,22 +87,25 @@ class StoreBuffer:
         entry retires; the returned ``issue_time`` is when the store actually
         entered the buffer and ``stall_ns`` the stall charged to the core.
         """
-        self.drain(now)
+        entries = self._entries
+        while entries and entries[0][0] <= now:
+            entries.popleft()
         stall_ns = 0.0
         issue_time = now
-        if self.is_full:
-            oldest_completion = self._entries[0][0]
+        if len(entries) >= self.capacity:
+            oldest_completion = entries[0][0]
             stall_ns = max(0.0, oldest_completion - now)
             issue_time = now + stall_ns
             self.stalls += 1
             self.total_stall_ns += stall_ns
-            self.drain(issue_time)
+            while entries and entries[0][0] <= issue_time:
+                entries.popleft()
         completion = max(completion_time, issue_time)
-        if self._entries:
+        if entries:
             # In-order, one-at-a-time drain (TSO): a store cannot complete
             # before the store ahead of it.
-            completion = max(completion, self._entries[-1][0])
-        self._entries.append((completion, block))
+            completion = max(completion, entries[-1][0])
+        entries.append((completion, block))
         self.pushes += 1
         return StorePushResult(stall_ns=stall_ns, issue_time=issue_time)
 

@@ -5,17 +5,29 @@ Usage::
     python -m repro.experiments.runner            # default settings
     python -m repro.experiments.runner --quick    # CI-sized runs
     python -m repro.experiments.runner --full     # EXPERIMENTS.md settings
+    python -m repro.experiments.runner --jobs 4   # fan figures out over workers
 
-The runner shares one :class:`~repro.experiments.common.ExperimentContext`
-across experiments so that e.g. the Fig. 6 runs are reused by Fig. 8/9.
+Sequentially, the runner shares one
+:class:`~repro.experiments.common.ExperimentContext` across experiments so
+that e.g. the Fig. 6 runs are reused by Fig. 8/9.  With ``--jobs N`` the
+figures are fanned out over a ``multiprocessing`` pool instead (each worker
+builds its own context, so the memoised-run sharing is traded for
+parallelism).
+
+The module also provides the generic sweep machinery the figures are built
+from: :func:`run_sweep` executes a list of :class:`SweepPoint` simulations --
+optionally in parallel worker processes -- and :func:`merge_stats` folds the
+per-point :class:`~repro.stats.counters.SimulationStats` into one aggregate.
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import (
     broadcast_filter,
@@ -30,9 +42,153 @@ from . import (
     fig11,
     table1,
 )
+from ..stats.counters import SimulationStats
 from .common import ExperimentContext, ExperimentSettings
 
-__all__ = ["run_all", "main"]
+__all__ = [
+    "run_all",
+    "run_all_parallel",
+    "main",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "merge_stats",
+]
+
+
+# ----------------------------------------------------------------------
+# Generic parallel sweep machinery
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (workload, design, machine) simulation of a figure sweep."""
+
+    workload: str
+    protocol: str = "c3d"
+    scale: int = 512
+    accesses_per_thread: int = 3000
+    warmup_accesses_per_thread: int = 1000
+    num_sockets: int = 4
+    cores_per_socket: int = 8
+    allocation_policy: str = "first_touch"
+    prewarm: bool = True
+    broadcast_filter: bool = False
+    seed: Optional[int] = None
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep point (picklable across worker processes)."""
+
+    point: SweepPoint
+    stats: SimulationStats
+    total_time_ns: float
+    inter_socket_bytes: int
+    accesses_executed: int
+    wall_clock_s: float = 0.0
+
+
+def _run_sweep_point(point: SweepPoint) -> SweepResult:
+    """Worker entry point: build and run one simulation."""
+    # Imports kept local so forked/spawned workers only pay for what they use.
+    from ..system.config import SystemConfig
+    from ..system.numa_system import NumaSystem
+    from ..system.simulator import Simulator
+    from ..workloads.registry import make_workload
+
+    base = SystemConfig.dual_socket if point.num_sockets == 2 else SystemConfig.quad_socket
+    config = base(
+        protocol=point.protocol,
+        num_sockets=point.num_sockets,
+        cores_per_socket=point.cores_per_socket,
+        allocation_policy=point.allocation_policy,
+        broadcast_filter=point.broadcast_filter,
+    ).scaled(point.scale)
+    system = NumaSystem(config)
+    workload = make_workload(
+        point.workload,
+        scale=point.scale,
+        accesses_per_thread=point.accesses_per_thread + point.warmup_accesses_per_thread,
+        num_threads=config.total_cores,
+        seed=point.seed,
+    )
+    started = time.time()
+    result = Simulator(system, workload).run(
+        warmup_accesses_per_core=point.warmup_accesses_per_thread,
+        prewarm=point.prewarm,
+    )
+    return SweepResult(
+        point=point,
+        stats=result.stats,
+        total_time_ns=result.total_time_ns,
+        inter_socket_bytes=result.inter_socket_bytes,
+        accesses_executed=result.accesses_executed,
+        wall_clock_s=time.time() - started,
+    )
+
+
+def run_sweep(
+    points: Sequence[SweepPoint], *, jobs: Optional[int] = None
+) -> List[SweepResult]:
+    """Run a list of sweep points, optionally over a multiprocessing pool.
+
+    ``jobs=None`` or ``jobs<=1`` runs in-process (deterministic order, no
+    pickling); otherwise up to ``jobs`` worker processes execute points
+    concurrently.  Results are always returned in input order.
+    """
+    points = list(points)
+    if jobs is None or jobs <= 1 or len(points) <= 1:
+        return [_run_sweep_point(point) for point in points]
+    with multiprocessing.Pool(processes=min(jobs, len(points))) as pool:
+        return pool.map(_run_sweep_point, points)
+
+
+def merge_stats(results: Sequence[SweepResult]) -> SimulationStats:
+    """Fold the statistics of several sweep results into one aggregate."""
+    merged = SimulationStats()
+    for result in results:
+        merged.merge(result.stats)
+    return merged
+
+
+def _format_directory_cost(table) -> str:
+    return "\n".join(f"{k}: {v:.1f} MB" for k, v in table.items())
+
+
+#: The single experiment registry (canonical order):
+#: name -> (runner(context), formatter(result), needs dual-socket context).
+#: Both the sequential and the parallel paths iterate this registry, so a new
+#: figure is added in exactly one place.
+_EXPERIMENTS: Dict[str, Tuple[Callable, Callable, bool]] = {
+    "table1": (table1.run_table1, table1.format_table1, False),
+    "fig2": (fig2.run_fig2, fig2.format_fig2, False),
+    "fig3": (fig3.run_fig3, fig3.format_fig3, False),
+    "fig6": (fig6.run_fig6, fig6.format_fig6, False),
+    "fig7": (fig7.run_fig7, fig7.format_fig7, True),
+    "fig8": (fig8.run_fig8, fig8.format_fig8, False),
+    "fig9": (fig9.run_fig9, fig9.format_fig9, False),
+    "broadcast_filter": (
+        broadcast_filter.run_broadcast_filter,
+        broadcast_filter.format_broadcast_filter,
+        False,
+    ),
+    "directory_cost": (
+        lambda _context: directory_cost.storage_cost_table(),
+        _format_directory_cost,
+        False,
+    ),
+    "fig10": (fig10.run_fig10, fig10.format_fig10, False),
+    "fig11": (fig11.run_fig11, fig11.format_fig11, False),
+}
+
+#: Names skipped by ``include_sensitivity=False``.
+_SENSITIVITY = ("fig10", "fig11")
+
+
+def _experiment_names(include_sensitivity: bool) -> List[str]:
+    return [n for n in _EXPERIMENTS if include_sensitivity or n not in _SENSITIVITY]
 
 
 def run_all(
@@ -41,46 +197,23 @@ def run_all(
     include_sensitivity: bool = True,
     stream=sys.stdout,
 ) -> Dict[str, object]:
-    """Run all experiments; returns {experiment-name: result}."""
+    """Run all experiments sequentially; returns {experiment-name: result}.
+
+    One context is shared across figures (memoised runs are reused, e.g. the
+    Fig. 6 simulations by Figs. 8/9) and the returned values are the raw
+    per-figure result objects -- unlike :func:`run_all_parallel`, which
+    returns formatted report text.
+    """
     settings = settings or ExperimentSettings()
     context = ExperimentContext(settings)
     dual_context = ExperimentContext(settings.dual_socket())
     results: Dict[str, object] = {}
 
-    experiments: List[Tuple[str, Callable[[], Tuple[object, str]]]] = [
-        ("table1", lambda: _wrap(table1.run_table1(context), table1.format_table1)),
-        ("fig2", lambda: _wrap(fig2.run_fig2(context), fig2.format_fig2)),
-        ("fig3", lambda: _wrap(fig3.run_fig3(context), fig3.format_fig3)),
-        ("fig6", lambda: _wrap(fig6.run_fig6(context), fig6.format_fig6)),
-        ("fig7", lambda: _wrap(fig7.run_fig7(dual_context), fig7.format_fig7)),
-        ("fig8", lambda: _wrap(fig8.run_fig8(context), fig8.format_fig8)),
-        ("fig9", lambda: _wrap(fig9.run_fig9(context), fig9.format_fig9)),
-        (
-            "broadcast_filter",
-            lambda: _wrap(
-                broadcast_filter.run_broadcast_filter(context),
-                broadcast_filter.format_broadcast_filter,
-            ),
-        ),
-        (
-            "directory_cost",
-            lambda: _wrap(
-                directory_cost.storage_cost_table(),
-                lambda table: "\n".join(f"{k}: {v:.1f} MB" for k, v in table.items()),
-            ),
-        ),
-    ]
-    if include_sensitivity:
-        experiments.extend(
-            [
-                ("fig10", lambda: _wrap(fig10.run_fig10(context), fig10.format_fig10)),
-                ("fig11", lambda: _wrap(fig11.run_fig11(context), fig11.format_fig11)),
-            ]
-        )
-
-    for name, runner in experiments:
+    for name in _experiment_names(include_sensitivity):
+        runner, formatter, dual = _EXPERIMENTS[name]
         start = time.time()
-        result, report = runner()
+        result = runner(dual_context if dual else context)
+        report = formatter(result)
         elapsed = time.time() - start
         results[name] = result
         print(f"\n### {name}  ({elapsed:.1f} s)\n", file=stream)
@@ -89,8 +222,43 @@ def run_all(
     return results
 
 
-def _wrap(result, formatter) -> Tuple[object, str]:
-    return result, formatter(result)
+def _run_named_experiment(task: Tuple[str, ExperimentSettings]) -> Tuple[str, str, float]:
+    """Worker entry point: run one named experiment and return its report text."""
+    name, settings = task
+    runner, formatter, dual = _EXPERIMENTS[name]
+    context = ExperimentContext(settings.dual_socket() if dual else settings)
+    start = time.time()
+    result = runner(context)
+    return name, formatter(result), time.time() - start
+
+
+def run_all_parallel(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    jobs: int = 2,
+    include_sensitivity: bool = True,
+    stream=sys.stdout,
+) -> Dict[str, str]:
+    """Fan the experiments out over ``jobs`` worker processes.
+
+    Each worker builds its own :class:`ExperimentContext` (so cross-figure
+    run sharing is traded for parallelism).  Because the per-figure result
+    objects are not guaranteed picklable, the workers return *formatted
+    report text*: the return value is ``{experiment-name: report-text}``,
+    not the result objects of :func:`run_all` -- use ``jobs=1`` /
+    :func:`run_all` when structured results are needed.
+    """
+    settings = settings or ExperimentSettings()
+    tasks = [(name, settings) for name in _experiment_names(include_sensitivity)]
+    with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+        results = pool.map(_run_named_experiment, tasks)
+    reports: Dict[str, str] = {}
+    for name, report, elapsed in results:
+        reports[name] = report
+        print(f"\n### {name}  ({elapsed:.1f} s)\n", file=stream)
+        print(report, file=stream)
+        stream.flush()
+    return reports
 
 
 def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
@@ -100,6 +268,11 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
     parser.add_argument(
         "--no-sensitivity", action="store_true", help="skip the Fig. 10/11 sweeps"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the figure sweeps (1 = sequential, shared "
+             "context, structured results; >1 returns formatted report text)",
+    )
     args = parser.parse_args(argv)
     if args.quick:
         settings = ExperimentSettings.quick()
@@ -107,6 +280,10 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         settings = ExperimentSettings.full()
     else:
         settings = ExperimentSettings()
+    if args.jobs > 1:
+        return run_all_parallel(
+            settings, jobs=args.jobs, include_sensitivity=not args.no_sensitivity
+        )
     return run_all(settings, include_sensitivity=not args.no_sensitivity)
 
 

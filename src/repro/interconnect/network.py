@@ -44,17 +44,32 @@ class Interconnect:
             (a, b): Link(a, b, link_bandwidth_gbps, infinite_bandwidth=infinite_bandwidth)
             for a, b in topology.links()
         }
-        # Route cache: topologies are static, so the per-pair link list never changes.
+        # Route cache: topologies are static, so the per-pair link list never
+        # changes.  The routes are resolved to Link objects directly so the
+        # hot send loop performs no per-hop dict lookups.
         self._routes: Dict[Tuple[int, int], list] = {
             (a, b): topology.route(a, b)
             for a in range(topology.num_sockets)
             for b in range(topology.num_sockets)
         }
+        self._route_links: Dict[Tuple[int, int], list] = {
+            pair: [self._links[hop] for hop in route]
+            for pair, route in self._routes.items()
+        }
+        # Physical packet size per message class, precomputed so the hot path
+        # never evaluates the MessageClass.kind property.
+        self._packet_sizes: Dict[MessageClass, int] = {
+            cls: (self.data_packet_bytes if cls.kind is PacketKind.DATA
+                  else self.control_packet_bytes)
+            for cls in MessageClass
+        }
 
         self.messages_sent = 0
         self.bytes_sent = 0
-        self.bytes_by_class: Dict[MessageClass, int] = {cls: 0 for cls in MessageClass}
-        self.messages_by_class: Dict[MessageClass, int] = {cls: 0 for cls in MessageClass}
+        # Per-class [bytes, messages] pairs: one dict lookup per send instead
+        # of four.  Exposed through the bytes_by_class / messages_by_class
+        # properties for the experiments and tests.
+        self._traffic: Dict[MessageClass, list] = {cls: [0, 0] for cls in MessageClass}
 
     # -- basic properties -----------------------------------------------------
 
@@ -64,9 +79,7 @@ class Interconnect:
 
     def packet_size(self, message_class: MessageClass) -> int:
         """Physical size in bytes of a packet of the given class."""
-        if message_class.kind is PacketKind.DATA:
-            return self.data_packet_bytes
-        return self.control_packet_bytes
+        return self._packet_sizes[message_class]
 
     def hops(self, src: int, dst: int) -> int:
         """Hop count between two sockets."""
@@ -82,20 +95,32 @@ class Interconnect:
         """
         if src == dst:
             return 0.0
-        size = self.packet_size(message_class)
-        route = self._routes[(src, dst)]
-        latency = self.hop_latency_ns * len(route)
+        size = self._packet_sizes[message_class]
+        links = self._route_links[(src, dst)]
+        latency = self.hop_latency_ns * len(links)
         arrival = now
-        for hop in route:
-            link = self._links[hop]
-            queue_delay = link.occupy(arrival, size)
-            latency += queue_delay
+        for link in links:
+            # Inlined Link.occupy (busy-until bandwidth accounting).
+            link.bytes_transferred += size
+            link.packets += 1
+            if not link.infinite_bandwidth:
+                service_time = size / link.bandwidth_bytes_per_ns
+                link.busy_time += service_time
+                if arrival >= link.last_arrival:
+                    link.last_arrival = arrival
+                    busy_until = link.busy_until
+                    if busy_until > arrival:
+                        latency += busy_until - arrival
+                        link.busy_until = busy_until + service_time
+                    else:
+                        link.busy_until = arrival + service_time
             arrival = now + latency
 
         self.messages_sent += 1
         self.bytes_sent += size
-        self.bytes_by_class[message_class] += size
-        self.messages_by_class[message_class] += 1
+        pair = self._traffic[message_class]
+        pair[0] += size
+        pair[1] += 1
         return latency
 
     def round_trip(
@@ -141,12 +166,21 @@ class Interconnect:
 
     # -- statistics -----------------------------------------------------------
 
+    @property
+    def bytes_by_class(self) -> Dict[MessageClass, int]:
+        """Bytes sent per message class."""
+        return {cls: pair[0] for cls, pair in self._traffic.items()}
+
+    @property
+    def messages_by_class(self) -> Dict[MessageClass, int]:
+        """Messages sent per message class."""
+        return {cls: pair[1] for cls, pair in self._traffic.items()}
+
     def reset_counters(self) -> None:
         """Zero the traffic counters (used when a warm-up phase ends)."""
         self.messages_sent = 0
         self.bytes_sent = 0
-        self.bytes_by_class = {cls: 0 for cls in MessageClass}
-        self.messages_by_class = {cls: 0 for cls in MessageClass}
+        self._traffic = {cls: [0, 0] for cls in MessageClass}
         for link in self._links.values():
             link.bytes_transferred = 0
             link.packets = 0
@@ -155,7 +189,7 @@ class Interconnect:
     def data_bytes(self) -> int:
         """Bytes sent in data-carrying packets."""
         return sum(
-            count for cls, count in self.bytes_by_class.items() if cls.kind is PacketKind.DATA
+            pair[0] for cls, pair in self._traffic.items() if cls.kind is PacketKind.DATA
         )
 
     def control_bytes(self) -> int:

@@ -25,6 +25,10 @@ class PacketKind(enum.Enum):
     CONTROL = "control"
     DATA = "data"
 
+    # Enum's default __hash__ is a Python-level function; identity hashing is
+    # equivalent for enum members and stays in C on the hot traffic counters.
+    __hash__ = object.__hash__
+
 
 class MessageClass(enum.Enum):
     """Semantic class of an inter-socket message (for traffic breakdowns)."""
@@ -37,6 +41,8 @@ class MessageClass(enum.Enum):
     DATA_RESPONSE = "data_response"  # cache-block-carrying responses
     WRITEBACK = "writeback"          # PutX / memory write-through data
     FORWARD = "forward"              # home-to-owner forwarded requests
+
+    __hash__ = object.__hash__       # identity hashing, C-level (hot counters)
 
     @property
     def kind(self) -> PacketKind:

@@ -144,6 +144,12 @@ class AddressMapper:
 
     def __post_init__(self) -> None:
         self._touched_pages: Dict[int, int] = {}
+        self._blocks_per_page = self.layout.page_size // self.layout.block_size
+        # Fast home lookups for the built-in policies (the page->home dict of
+        # a first-touch policy is never reassigned, only mutated in place).
+        self._ft_page_home = (
+            self.policy._page_home if isinstance(self.policy, FirstTouchPolicy) else None
+        )
 
     @property
     def num_sockets(self) -> int:
@@ -151,7 +157,14 @@ class AddressMapper:
 
     def touch(self, addr: int, socket: int) -> int:
         """Record an access to ``addr`` by ``socket`` and return the home socket."""
-        page = self.layout.page_of(addr)
+        return self.touch_page(self.layout.page_of(addr), socket)
+
+    def touch_page(self, page: int, socket: int) -> int:
+        """Record an access to ``page`` by ``socket`` and return the home socket.
+
+        Hot-loop entry point used by the compiled engine, which has the page
+        number precomputed and skips the byte-address division.
+        """
         home = self.policy.home_of_page(page, toucher_socket=socket)
         if page not in self._touched_pages:
             self._touched_pages[page] = home
@@ -163,7 +176,14 @@ class AddressMapper:
 
     def home_of_block(self, block: int) -> int:
         """Return the home socket of block number ``block``."""
-        return self.policy.home_of_page(self.layout.page_of_block(block))
+        page = block // self._blocks_per_page
+        page_home = self._ft_page_home
+        if page_home is not None:
+            # Inlined FirstTouchPolicy.home_of_page without a toucher: an
+            # unplaced page falls back to interleaving (and is not pinned).
+            home = page_home.get(page)
+            return home if home is not None else page % self.policy.num_sockets
+        return self.policy.home_of_page(page)
 
     def touched_pages(self) -> int:
         """Number of distinct pages touched so far."""

@@ -126,11 +126,31 @@ class MemoryController:
 
     def read(self, now: float, block: int) -> MemoryAccessResult:
         """Perform a block read; returns the critical-path latency."""
-        self.reads += 1
-        channel = self._channel_for(block)
-        queue_delay = channel.occupy(now, self.block_size)
-        self.read_queue_delay += queue_delay
+        queue_delay = self.read_fast(now, block) - self.latency_ns
         return MemoryAccessResult(latency=self.latency_ns + queue_delay, queue_delay=queue_delay)
+
+    def read_fast(self, now: float, block: int) -> float:
+        """Hot-path block read; returns just the critical-path latency (ns)."""
+        self.reads += 1
+        channel = self.channels[block % len(self.channels)]
+        # Inlined MemoryChannel.occupy.
+        size = self.block_size
+        channel.bytes_transferred += size
+        if channel.infinite_bandwidth:
+            return self.latency_ns
+        service_time = size / channel.bandwidth_bytes_per_ns
+        channel.busy_time += service_time
+        if now < channel.last_arrival:
+            return self.latency_ns
+        channel.last_arrival = now
+        busy_until = channel.busy_until
+        if busy_until > now:
+            channel.busy_until = busy_until + service_time
+            queue_delay = busy_until - now
+            self.read_queue_delay += queue_delay
+            return self.latency_ns + queue_delay
+        channel.busy_until = now + service_time
+        return self.latency_ns
 
     def write(self, now: float, block: int) -> MemoryAccessResult:
         """Perform a block write.
@@ -140,10 +160,29 @@ class MemoryController:
         reported for completeness and used only for store-buffer drain
         modelling.
         """
-        self.writes += 1
-        channel = self._channel_for(block)
-        queue_delay = channel.occupy(now, self.block_size)
+        queue_delay = self.write_fast(now, block) - self.latency_ns
         return MemoryAccessResult(latency=self.latency_ns + queue_delay, queue_delay=queue_delay)
+
+    def write_fast(self, now: float, block: int) -> float:
+        """Hot-path block write; returns just the latency (ns)."""
+        self.writes += 1
+        channel = self.channels[block % len(self.channels)]
+        # Inlined MemoryChannel.occupy.
+        size = self.block_size
+        channel.bytes_transferred += size
+        if channel.infinite_bandwidth:
+            return self.latency_ns
+        service_time = size / channel.bandwidth_bytes_per_ns
+        channel.busy_time += service_time
+        if now < channel.last_arrival:
+            return self.latency_ns
+        channel.last_arrival = now
+        busy_until = channel.busy_until
+        if busy_until > now:
+            channel.busy_until = busy_until + service_time
+            return self.latency_ns + busy_until - now
+        channel.busy_until = now + service_time
+        return self.latency_ns
 
     # -- statistics -----------------------------------------------------------
 

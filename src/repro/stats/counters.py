@@ -34,6 +34,13 @@ class LatencyAccumulator:
         if value > self.maximum:
             self.maximum = value
 
+    def merge(self, other: "LatencyAccumulator") -> None:
+        """Fold another accumulator's distribution into this one."""
+        self.total += other.total
+        self.count += other.count
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -154,6 +161,44 @@ class SimulationStats:
     def off_socket_serves(self) -> int:
         """LLC misses that had to leave the socket."""
         return self.served_remote_memory + self.served_remote_llc + self.served_remote_dram_cache
+
+    #: Scalar integer/float counters folded by :meth:`merge` (kept explicit so
+    #: new counters must make a conscious choice about merge semantics).
+    _MERGE_SUM_FIELDS = (
+        "instructions", "reads", "writes", "store_buffer_stalls",
+        "store_buffer_stall_ns", "store_forward_hits",
+        "l1_hits", "l1_misses", "llc_hits", "llc_misses", "llc_peer_hits",
+        "dram_cache_hits", "dram_cache_misses",
+        "served_local_memory", "served_remote_memory", "served_remote_llc",
+        "served_remote_dram_cache", "served_local_dram_cache",
+        "memory_reads_local", "memory_reads_remote",
+        "memory_writes_local", "memory_writes_remote",
+        "directory_lookups", "directory_recalls", "invalidations_sent",
+        "broadcasts", "broadcasts_elided", "downgrades", "writebacks",
+        "write_throughs", "upgrades",
+    )
+
+    def merge(self, other: "SimulationStats") -> "SimulationStats":
+        """Fold another run's counters into this object (in place).
+
+        Used by the parallel experiment runner to combine the statistics of
+        simulations executed in different worker processes.  Scalar counters
+        add, latency distributions merge, and per-core completion times are
+        unioned (identical core ids keep the slower completion, so merging
+        shards of one logical sweep stays meaningful).
+        """
+        for name in self._MERGE_SUM_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.read_latency.merge(other.read_latency)
+        self.write_latency.merge(other.write_latency)
+        self.llc_miss_latency.merge(other.llc_miss_latency)
+        for core_id, finish in other.core_finish_ns.items():
+            mine = self.core_finish_ns.get(core_id)
+            if mine is None or finish > mine:
+                self.core_finish_ns[core_id] = finish
+        for key, value in other.extra.items():
+            self.extra[key] += value
+        return self
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten the scalar counters into a dictionary (for reports/CSV)."""

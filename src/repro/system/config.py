@@ -69,6 +69,9 @@ class DRAMCacheConfig:
     predictor_latency_ns: float = cycles_to_ns(2)
     region_size: int = 4096
     enabled: bool = True
+    #: 1 = the paper's direct-mapped organisation; >1 enables the intrusive
+    #: per-set LRU (sensitivity sweeps).
+    associativity: int = 1
 
     def scaled(self, factor: int, *, floor_bytes: int = 1 << 16) -> "DRAMCacheConfig":
         new_size = max(floor_bytes, self.size_bytes // factor)

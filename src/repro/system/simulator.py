@@ -18,10 +18,16 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from ..stats.counters import SimulationStats
+from ..workloads.compiled import CompiledTrace, compile_trace
 from ..workloads.trace import MemoryAccess
 from .numa_system import NumaSystem
 
-__all__ = ["Simulator", "SimulationResult"]
+__all__ = ["Simulator", "SimulationResult", "ENGINES"]
+
+#: Supported execution engines.  ``compiled`` materialises per-core traces
+#: into flat arrays and runs the lean dispatch loop; ``object`` is the legacy
+#: one-``MemoryAccess``-at-a-time generator path kept for equivalence testing.
+ENGINES = ("compiled", "object")
 
 
 @dataclass
@@ -41,9 +47,12 @@ class SimulationResult:
 class Simulator:
     """Drives a :class:`~repro.system.numa_system.NumaSystem` with a workload."""
 
-    def __init__(self, system: NumaSystem, workload) -> None:
+    def __init__(self, system: NumaSystem, workload, *, engine: str = "compiled") -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.system = system
         self.workload = workload
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Public API
@@ -68,16 +77,28 @@ class Simulator:
         self._prepare_first_touch()
         if prewarm:
             self.prewarm_dram_caches()
-        streams = self._open_streams()
-        if not streams:
-            return SimulationResult(self.system.stats, 0.0, 0, 0)
-
-        if warmup_accesses_per_core > 0:
-            self._run_phase(streams, warmup_accesses_per_core)
-            self.system.reset_measurement()
+        if self.engine == "compiled":
+            traces = self._compile_streams()
+            if not traces:
+                return SimulationResult(self.system.stats, 0.0, 0, 0)
+            cursors = {core_id: 0 for core_id in traces}
+            if warmup_accesses_per_core > 0:
+                self._run_phase_compiled(traces, cursors, warmup_accesses_per_core)
+                self.system.reset_measurement()
+            streams = traces
+        else:
+            streams = self._open_streams()
+            if not streams:
+                return SimulationResult(self.system.stats, 0.0, 0, 0)
+            if warmup_accesses_per_core > 0:
+                self._run_phase(streams, warmup_accesses_per_core)
+                self.system.reset_measurement()
         warmup_offsets = {core_id: self.system.cores[core_id].time for core_id in streams}
 
-        executed = self._run_phase(streams, max_accesses_per_core)
+        if self.engine == "compiled":
+            executed = self._run_phase_compiled(traces, cursors, max_accesses_per_core)
+        else:
+            executed = self._run_phase(streams, max_accesses_per_core)
 
         stats = self.system.stats
         for core_id in streams:
@@ -131,12 +152,15 @@ class Simulator:
             for region in shared_regions:
                 base_block = layout.block_of(region["base"])
                 num_blocks = max(1, region["size"] // layout.block_size)
-                for block in range(base_block, base_block + min(num_blocks, capacity_blocks)):
-                    sock.dram_cache.insert(block, dirty=False)
-                    inserted += 1
-                    if track_in_directory:
+                block_range = range(base_block, base_block + min(num_blocks, capacity_blocks))
+                if track_in_directory:
+                    for block in block_range:
+                        sock.dram_cache.insert(block, dirty=False)
+                        inserted += 1
                         home = system.mapper.home_of_block(block)
                         system.directories[home].add_sharer(block, sock.socket_id)
+                else:
+                    inserted += sock.dram_cache.bulk_insert_clean(block_range)
             max_inserted = max(max_inserted, inserted)
         return max_inserted
 
@@ -199,6 +223,144 @@ class Simulator:
             thread_id: iter(self.workload.stream(thread_id))
             for thread_id in range(num_threads)
         }
+
+    def _compile_streams(self) -> Dict[int, CompiledTrace]:
+        """Materialise one compiled trace per active core."""
+        num_threads = min(self.workload.num_threads, self.system.num_cores)
+        layout = self.system.layout
+        return {
+            thread_id: compile_trace(self.workload, thread_id, layout=layout)
+            for thread_id in range(num_threads)
+        }
+
+    def _run_phase_compiled(
+        self,
+        traces: Dict[int, CompiledTrace],
+        cursors: Dict[int, int],
+        limit_per_core: Optional[int],
+    ) -> int:
+        """Advance every compiled trace until exhaustion or ``limit_per_core``.
+
+        Executes the same access interleaving as :meth:`_run_phase` (smallest
+        ``(core time, core id)`` first) with the per-access Python overhead
+        stripped out: no generator resumption, no ``MemoryAccess`` allocation,
+        no address arithmetic (block/page are precomputed), a single
+        ``heappushpop`` per access instead of a push/pop pair -- and no heap
+        at all when at most two cores are active (a direct two-stream merge).
+        """
+        system = self.system
+        classifier = system.page_classifier
+        record_access = classifier.record_access if classifier is not None else None
+        mapper = system.mapper
+        home_of_page = mapper.policy.home_of_page
+        touched_pages = mapper._touched_pages
+        config = system.config
+        cores = system.cores
+
+        # Per-core state tuples indexed by core id:
+        # (blocks, pages, addrs, writes, gaps, execute_fast, socket_id, thread_id)
+        states = {}
+        ends = {}
+        for core_id, trace in traces.items():
+            start = cursors[core_id]
+            end = trace.length if limit_per_core is None else min(
+                trace.length, start + limit_per_core
+            )
+            ends[core_id] = end
+            if start >= end:
+                continue
+            core = cores[core_id]
+            states[core_id] = (
+                trace.blocks,
+                trace.pages,
+                trace.addrs,
+                trace.writes,
+                trace.gaps,
+                core.execute_fast,
+                config.socket_of_core(core_id),
+                core.thread_id,
+            )
+        if not states:
+            return 0
+
+        executed = 0
+
+        def run_one(core_id: int) -> float:
+            """Execute one access of ``core_id``; returns the core's new time."""
+            blocks, pages, addrs, writes, gaps, execute_fast, socket_id, thread_id = states[
+                core_id
+            ]
+            i = cursors[core_id]
+            page = pages[i]
+            # Inlined AddressMapper.touch_page.
+            home = home_of_page(page, socket_id)
+            if page not in touched_pages:
+                touched_pages[page] = home
+            if record_access is not None:
+                record_access(thread_id, addrs[i])
+            new_time = execute_fast(blocks[i], page, writes[i], gaps[i])
+            cursors[core_id] = i + 1
+            return new_time
+
+        if len(states) <= 2:
+            # Two-stream merge: compare the two head entries directly.
+            entries = sorted((cores[cid].time, cid) for cid in states)
+            if len(entries) == 1:
+                (_t, cid), = entries
+                end = ends[cid]
+                while cursors[cid] < end:
+                    run_one(cid)
+                    executed += 1
+                return executed
+            a, b = entries
+            while True:
+                if a <= b:
+                    current, other = a, b
+                else:
+                    current, other = b, a
+                cid = current[1]
+                new_time = run_one(cid)
+                executed += 1
+                if cursors[cid] >= ends[cid]:
+                    # Drain the remaining stream alone.
+                    cid = other[1]
+                    end = ends[cid]
+                    while cursors[cid] < end:
+                        run_one(cid)
+                        executed += 1
+                    return executed
+                a, b = (new_time, cid), other
+
+        heap = [(cores[cid].time, cid) for cid in states]
+        heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+
+        current = heappop(heap)
+        while True:
+            cid = current[1]
+            # Inlined run_one (this loop executes once per simulated access).
+            blocks, pages, addrs, writes, gaps, execute_fast, socket_id, thread_id = states[
+                cid
+            ]
+            i = cursors[cid]
+            page = pages[i]
+            # Inlined AddressMapper.touch_page.
+            home = home_of_page(page, socket_id)
+            if page not in touched_pages:
+                touched_pages[page] = home
+            if record_access is not None:
+                record_access(thread_id, addrs[i])
+            new_time = execute_fast(blocks[i], page, writes[i], gaps[i])
+            i += 1
+            cursors[cid] = i
+            executed += 1
+            if i < ends[cid]:
+                current = heappushpop(heap, (new_time, cid))
+            elif heap:
+                current = heappop(heap)
+            else:
+                return executed
 
     def _run_phase(
         self,

@@ -16,7 +16,7 @@ from ..caches.block import CacheBlockState
 from ..caches.dram_cache import DRAMCache
 from ..caches.miss_predictor import RegionMissPredictor
 from ..caches.sram_cache import SetAssociativeCache
-from ..coherence.local_directory import LocalDirectory
+from ..coherence.local_directory import LocalDirectory, LocalDirectoryEntry
 from ..coherence.messages import MissResult, ServiceSource
 from ..memory.address import AddressLayout
 from ..memory.main_memory import MemoryController
@@ -28,6 +28,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from .numa_system import NumaSystem
 
 __all__ = ["Socket"]
+
+_MODIFIED = CacheBlockState.MODIFIED
+_SHARED = CacheBlockState.SHARED
 
 
 class Socket:
@@ -88,6 +91,7 @@ class Socket:
             self.dram_cache = DRAMCache(
                 config.dram_cache.size_bytes,
                 block_size=config.block_size,
+                associativity=config.dram_cache.associativity,
                 clean=clean,
                 name=f"socket{socket_id}.dram_cache",
                 miss_predictor=predictor,
@@ -130,7 +134,8 @@ class Socket:
     # ------------------------------------------------------------------
 
     def access(
-        self, now: float, core_index: int, block: int, *, is_write: bool, thread_id: int
+        self, now: float, core_index: int, block: int, is_write: bool = False,
+        thread_id: int = 0,
     ) -> Tuple[float, ServiceSource]:
         """Service one demand access from core ``core_index`` of this socket.
 
@@ -138,32 +143,44 @@ class Socket:
         path of the access and ``source`` identifies which level ultimately
         provided the data (or write permission).
         """
-        l1 = self.l1s[core_index]
-        latency = self.l1_latency_ns
-        l1_line = l1.lookup(block)
+        stats = self.system.stats
+        l1_line = self.l1s[core_index].lookup(block)
 
-        if l1_line is not None and (not is_write or l1_line.state is CacheBlockState.MODIFIED):
-            self.stats.l1_hits += 1
+        if l1_line is not None and (not is_write or l1_line.state is _MODIFIED):
+            stats.l1_hits += 1
             if is_write:
                 l1_line.dirty = True
                 llc_line = self.llc.peek(block)
                 if llc_line is not None:
                     llc_line.dirty = True
-            return latency, ServiceSource.L1
-        self.stats.l1_misses += 1
+            return self.l1_latency_ns, ServiceSource.L1
+        stats.l1_misses += 1
+        return self.access_l1_missed(now, core_index, block, is_write, thread_id)
 
+    def access_l1_missed(
+        self, now: float, core_index: int, block: int, is_write: bool, thread_id: int
+    ) -> Tuple[float, ServiceSource]:
+        """Continue a demand access after an L1 miss (or store permission miss).
+
+        Split out of :meth:`access` so the compiled engine can inline the L1
+        hit path into the core and enter the memory system here.  The caller
+        has already performed the L1 lookup (recency + cache and stats hit
+        accounting).
+        """
+        stats = self.system.stats
         # LLC level (local directory consulted in parallel with the tag check).
-        latency += self.local_directory.latency_ns
-        llc_line = self.llc.lookup(block)
+        latency = self.l1_latency_ns + self.local_directory.latency_ns
+        llc = self.llc
+        llc_line = llc.lookup(block)
 
         if llc_line is not None:
             latency += self.llc_latency_ns
-            self.stats.llc_hits += 1
+            stats.llc_hits += 1
             if not is_write:
                 latency += self._peer_intervention(core_index, block)
                 self._fill_l1(core_index, block, modified=False)
                 return latency, ServiceSource.LLC
-            if llc_line.state is CacheBlockState.MODIFIED:
+            if llc_line.state is _MODIFIED:
                 self._local_write_update(core_index, block)
                 return latency, ServiceSource.LLC
             # Shared in the LLC: data is present but Modified permission is not.
@@ -172,12 +189,12 @@ class Socket:
                 thread_id=thread_id, has_shared_copy=True,
             )
             latency += result.latency
-            self.llc.set_state(block, CacheBlockState.MODIFIED, dirty=True)
+            llc.set_state(block, _MODIFIED, dirty=True)
             self._local_write_update(core_index, block)
             return latency, result.source
 
         # LLC miss: hand the request to the global protocol.
-        self.stats.llc_misses += 1
+        stats.llc_misses += 1
         if is_write:
             result = self.protocol.write_miss(
                 now + latency, self.socket_id, block,
@@ -186,9 +203,27 @@ class Socket:
         else:
             result = self.protocol.read_miss(now + latency, self.socket_id, block)
         latency += result.latency
-        self._record_service(result)
+
+        # Inlined _record_service (one call per LLC miss saved).
+        source = result.source
+        if source is ServiceSource.LOCAL_DRAM_CACHE:
+            stats.served_local_dram_cache += 1
+        elif source is ServiceSource.LOCAL_MEMORY:
+            stats.served_local_memory += 1
+        elif source is ServiceSource.REMOTE_MEMORY:
+            stats.served_remote_memory += 1
+        elif source is ServiceSource.REMOTE_LLC:
+            stats.served_remote_llc += 1
+        elif source is ServiceSource.REMOTE_DRAM_CACHE:
+            stats.served_remote_dram_cache += 1
+        acc = stats.llc_miss_latency
+        acc.total += result.latency
+        acc.count += 1
+        if result.latency > acc.maximum:
+            acc.maximum = result.latency
+
         self._fill(now + latency, core_index, block, modified=is_write)
-        return latency, result.source
+        return latency, source
 
     # ------------------------------------------------------------------
     # Intra-socket mechanics
@@ -223,20 +258,38 @@ class Socket:
 
     def _fill_l1(self, core_index: int, block: int, *, modified: bool) -> None:
         l1 = self.l1s[core_index]
-        state = CacheBlockState.MODIFIED if modified else CacheBlockState.SHARED
+        state = _MODIFIED if modified else _SHARED
         victim = l1.insert(block, state, dirty=modified)
-        self.local_directory.record_fill(block, core_index, modified=modified)
+        # Inlined LocalDirectory.record_fill.
+        local_dir = self.local_directory
+        entries = local_dir._entries
+        entry = entries.get(block)
+        if entry is None:
+            entry = entries[block] = LocalDirectoryEntry(block=block)
+        entry.sharers.add(core_index)
+        if modified:
+            entry.owner = core_index
+        elif entry.owner == core_index:
+            entry.owner = None
         if victim is not None:
-            self.local_directory.record_eviction(victim.block, core_index)
+            # Inlined LocalDirectory.record_eviction.
+            victim_block = victim.block
+            victim_entry = entries.get(victim_block)
+            if victim_entry is not None:
+                victim_entry.sharers.discard(core_index)
+                if victim_entry.owner == core_index:
+                    victim_entry.owner = None
+                if not victim_entry.sharers:
+                    del entries[victim_block]
             if victim.dirty:
                 # Write the L1 victim's data back into the (inclusive) LLC.
-                llc_line = self.llc.peek(victim.block)
+                llc_line = self.llc.peek(victim_block)
                 if llc_line is not None:
                     llc_line.dirty = True
 
     def _fill(self, now: float, core_index: int, block: int, *, modified: bool) -> None:
         """Install a fill returned by the global protocol into LLC + L1."""
-        state = CacheBlockState.MODIFIED if modified else CacheBlockState.SHARED
+        state = _MODIFIED if modified else _SHARED
         victim = self.llc.insert(block, state, dirty=modified)
         if victim is not None:
             self._handle_llc_victim(now, victim.block, victim.dirty)
@@ -291,18 +344,19 @@ class Socket:
     # ------------------------------------------------------------------
 
     def _record_service(self, result: MissResult) -> None:
+        stats = self.system.stats
         source = result.source
         if source is ServiceSource.LOCAL_DRAM_CACHE:
-            self.stats.served_local_dram_cache += 1
+            stats.served_local_dram_cache += 1
         elif source is ServiceSource.LOCAL_MEMORY:
-            self.stats.served_local_memory += 1
+            stats.served_local_memory += 1
         elif source is ServiceSource.REMOTE_MEMORY:
-            self.stats.served_remote_memory += 1
+            stats.served_remote_memory += 1
         elif source is ServiceSource.REMOTE_LLC:
-            self.stats.served_remote_llc += 1
+            stats.served_remote_llc += 1
         elif source is ServiceSource.REMOTE_DRAM_CACHE:
-            self.stats.served_remote_dram_cache += 1
-        self.stats.llc_miss_latency.add(result.latency)
+            stats.served_remote_dram_cache += 1
+        stats.llc_miss_latency.add(result.latency)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         dram = "+DRAM$" if self.dram_cache is not None else ""

@@ -1,6 +1,7 @@
 """Workload substrate: synthetic trace generators for the paper's benchmarks."""
 
 from .cloudsuite import CLOUDSUITE_SPECS, cloudsuite_names
+from .compiled import CompiledTrace, compile_trace, compile_workload
 from .parsec import PARSEC_SPECS, parsec_names
 from .registry import (
     EVALUATED_WORKLOADS,
@@ -16,6 +17,9 @@ from .trace import MemoryAccess, materialise
 __all__ = [
     "MemoryAccess",
     "materialise",
+    "CompiledTrace",
+    "compile_trace",
+    "compile_workload",
     "WorkloadSpec",
     "SyntheticWorkload",
     "REGION_NAMES",

@@ -1,0 +1,136 @@
+"""Compiled (array-backed) trace representation for the fast engine.
+
+The legacy simulation path materialises one :class:`~repro.workloads.trace.MemoryAccess`
+dataclass per memory reference and threads it through a generator; at
+figure-sweep scale the allocation and generator machinery dominate the
+simulator's run time.  A :class:`CompiledTrace` instead stores each per-thread
+access stream as flat parallel columns -- byte address, write flag,
+instruction gap, plus *precomputed* block and page numbers -- that the hot
+loop consumes by index.  The columns are plain Python lists of ints/bools
+(converted once from the vectorised numpy batches), which is the fastest
+indexed representation for a pure-Python consumer.
+
+Any workload that exposes ``stream(thread_id)`` can be compiled with
+:func:`compile_trace`; workloads that can generate their batches vectorised
+(:class:`~repro.workloads.synthetic.SyntheticWorkload`) provide a
+``compiled_trace`` method that skips per-access object creation entirely.
+Both paths produce bit-identical access sequences, which the engine
+equivalence test (``tests/system/test_engine_equivalence.py``) locks in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..memory.address import DEFAULT_LAYOUT, AddressLayout
+
+__all__ = ["CompiledTrace", "compile_trace", "compile_workload"]
+
+
+class CompiledTrace:
+    """One thread's access stream as flat parallel columns.
+
+    Attributes
+    ----------
+    addrs, writes, gaps:
+        The raw trace columns (byte address, store flag, instruction gap).
+    blocks, pages:
+        Precomputed ``addr // block_size`` and ``addr // page_size`` so the
+        hot loop never performs address arithmetic.
+    length:
+        Number of accesses in the trace.
+    """
+
+    __slots__ = ("addrs", "writes", "gaps", "blocks", "pages", "length")
+
+    def __init__(
+        self,
+        addrs: List[int],
+        writes: List[bool],
+        gaps: List[int],
+        blocks: List[int],
+        pages: List[int],
+    ) -> None:
+        self.addrs = addrs
+        self.writes = writes
+        self.gaps = gaps
+        self.blocks = blocks
+        self.pages = pages
+        self.length = len(addrs)
+
+    @classmethod
+    def empty(cls) -> "CompiledTrace":
+        return cls([], [], [], [], [])
+
+    @classmethod
+    def from_arrays(
+        cls,
+        addrs: np.ndarray,
+        writes: np.ndarray,
+        gaps: np.ndarray,
+        *,
+        layout: Optional[AddressLayout] = None,
+    ) -> "CompiledTrace":
+        """Build a trace from numpy columns, precomputing block/page numbers."""
+        layout = layout or DEFAULT_LAYOUT
+        addrs = np.asarray(addrs, dtype=np.int64)
+        blocks = addrs // layout.block_size
+        pages = addrs // layout.page_size
+        return cls(
+            addrs.tolist(),
+            np.asarray(writes, dtype=bool).tolist(),
+            np.asarray(gaps, dtype=np.int64).tolist(),
+            blocks.tolist(),
+            pages.tolist(),
+        )
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledTrace(length={self.length})"
+
+
+def compile_trace(
+    workload, thread_id: int, *, layout: Optional[AddressLayout] = None
+) -> CompiledTrace:
+    """Compile one thread's access stream into a :class:`CompiledTrace`.
+
+    Uses the workload's vectorised ``compiled_trace`` method when available
+    (and its address layout matches the requested one); otherwise falls back
+    to draining ``stream(thread_id)`` once (any iterable of
+    :class:`~repro.workloads.trace.MemoryAccess` works).
+    """
+    vectorised = getattr(workload, "compiled_trace", None)
+    if vectorised is not None and (
+        layout is None or getattr(workload, "layout", None) == layout
+    ):
+        return vectorised(thread_id)
+
+    layout = layout or getattr(workload, "layout", None) or DEFAULT_LAYOUT
+    addrs: List[int] = []
+    writes: List[bool] = []
+    gaps: List[int] = []
+    for access in workload.stream(thread_id):
+        addrs.append(access.addr)
+        writes.append(access.is_write)
+        gaps.append(access.gap)
+    if not addrs:
+        return CompiledTrace.empty()
+    block_size = layout.block_size
+    page_size = layout.page_size
+    blocks = [a // block_size for a in addrs]
+    pages = [a // page_size for a in addrs]
+    return CompiledTrace(addrs, writes, gaps, blocks, pages)
+
+
+def compile_workload(
+    workload, num_threads: int, *, layout: Optional[AddressLayout] = None
+) -> Dict[int, CompiledTrace]:
+    """Compile the first ``num_threads`` per-thread streams of a workload."""
+    return {
+        thread_id: compile_trace(workload, thread_id, layout=layout)
+        for thread_id in range(num_threads)
+    }

@@ -187,12 +187,13 @@ class SyntheticWorkload:
 
     # -- stream generation ---------------------------------------------------------
 
-    def stream(self, thread_id: int) -> Iterator[MemoryAccess]:
-        """Yield ``accesses_per_thread`` accesses for one thread.
+    def _batches(self, thread_id: int):
+        """Yield ``(addrs, writes, gaps)`` numpy array batches for one thread.
 
-        The stream is deterministic given (spec.seed, thread_id).  Random
-        choices are drawn in vectorised batches so that trace generation is a
-        small fraction of the simulation cost.
+        This is the single source of randomness for a thread's trace: both
+        :meth:`stream` (object-at-a-time, legacy) and :meth:`compiled_trace`
+        (flat arrays, fast engine) consume it, so the two representations are
+        bit-identical by construction.
         """
         if not 0 <= thread_id < self.spec.num_threads:
             raise ValueError(f"thread_id {thread_id} out of range")
@@ -240,11 +241,37 @@ class SyntheticWorkload:
             addrs = np.repeat(block_addrs, spatial) + offsets
 
             emit = min(remaining, total_refs)
-            for i in range(emit):
+            yield addrs[:emit], writes[:emit], gaps[:emit]
+            remaining -= emit
+
+    def stream(self, thread_id: int) -> Iterator[MemoryAccess]:
+        """Yield ``accesses_per_thread`` accesses for one thread.
+
+        The stream is deterministic given (spec.seed, thread_id).  Random
+        choices are drawn in vectorised batches so that trace generation is a
+        small fraction of the simulation cost.
+        """
+        for addrs, writes, gaps in self._batches(thread_id):
+            for i in range(len(addrs)):
                 yield MemoryAccess(
                     addr=int(addrs[i]), is_write=bool(writes[i]), gap=int(gaps[i])
                 )
-            remaining -= emit
+
+    def compiled_trace(self, thread_id: int) -> "CompiledTrace":
+        """Materialise one thread's trace into a :class:`CompiledTrace`.
+
+        The access sequence is identical to :meth:`stream`; only the
+        representation differs (flat columns instead of per-access objects).
+        """
+        from .compiled import CompiledTrace
+
+        chunks = list(self._batches(thread_id))
+        if not chunks:
+            return CompiledTrace.empty()
+        addrs = np.concatenate([c[0] for c in chunks])
+        writes = np.concatenate([c[1] for c in chunks])
+        gaps = np.concatenate([c[2] for c in chunks])
+        return CompiledTrace.from_arrays(addrs, writes, gaps, layout=self.layout)
 
     # -- hooks used by the simulator / allocation policies -----------------------------
 

@@ -1,0 +1,67 @@
+"""Regenerate ``throughput_smoke.json`` after a deliberate model change.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Only run this when a simulation-behaviour change is intended; the golden
+drift test (``tests/system/test_golden_stats.py``) exists precisely to make
+accidental behaviour changes fail CI.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.system.config import SystemConfig  # noqa: E402
+from repro.system.numa_system import NumaSystem  # noqa: E402
+from repro.system.simulator import Simulator  # noqa: E402
+from repro.workloads.registry import make_workload  # noqa: E402
+
+INT_COUNTERS = [
+    "instructions", "reads", "writes", "store_forward_hits",
+    "l1_hits", "l1_misses", "llc_hits", "llc_misses", "llc_peer_hits",
+    "dram_cache_hits", "dram_cache_misses",
+    "served_local_memory", "served_remote_memory", "served_remote_llc",
+    "served_remote_dram_cache", "served_local_dram_cache",
+    "memory_reads_local", "memory_reads_remote",
+    "memory_writes_local", "memory_writes_remote",
+    "directory_lookups", "invalidations_sent",
+    "broadcasts", "broadcasts_elided", "downgrades", "writebacks",
+    "write_throughs", "upgrades",
+]
+
+SCALE = 1024
+ACCESSES = 200
+WORKLOAD = "facesim"
+
+
+def main() -> None:
+    golden = {
+        "scale": SCALE,
+        "accesses_per_core": ACCESSES,
+        "workload": WORKLOAD,
+        "protocols": {},
+    }
+    for protocol in ("baseline", "c3d"):
+        config = SystemConfig.quad_socket(protocol=protocol).scaled(SCALE)
+        system = NumaSystem(config)
+        workload = make_workload(
+            WORKLOAD, scale=SCALE, accesses_per_thread=ACCESSES,
+            num_threads=config.total_cores,
+        )
+        result = Simulator(system, workload).run(prewarm=True)
+        entry = {name: getattr(result.stats, name) for name in INT_COUNTERS}
+        entry["accesses_executed"] = result.accesses_executed
+        entry["inter_socket_bytes"] = result.inter_socket_bytes
+        golden["protocols"][protocol] = entry
+
+    out = Path(__file__).resolve().parent / "throughput_smoke.json"
+    out.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

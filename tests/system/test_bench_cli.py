@@ -1,0 +1,56 @@
+"""Tests for the ``repro bench`` throughput microbenchmark command."""
+
+import json
+
+from repro.bench import append_record, run_benchmark
+from repro.cli import main as cli_main
+
+
+def test_run_benchmark_record_shape():
+    record = run_benchmark(
+        protocols=("baseline",), engines=("compiled",),
+        scale=4096, accesses=50, rounds=1,
+    )
+    entry = record["measurements"]["baseline/compiled"]
+    assert entry["executed"] == 50 * 32
+    assert entry["accesses_per_sec"] > 0
+    assert record["workload"] == "facesim"
+
+
+def test_benchmark_reports_engine_speedup():
+    record = run_benchmark(
+        protocols=("baseline",), engines=("compiled", "object"),
+        scale=4096, accesses=50, rounds=1,
+    )
+    assert "speedup_baseline_compiled_vs_object" in record
+    assert record["speedup_baseline_compiled_vs_object"] > 0
+
+
+def test_append_record_creates_and_appends(tmp_path):
+    output = tmp_path / "BENCH_throughput.json"
+    append_record({"a": 1}, output)
+    append_record({"b": 2}, output)
+    history = json.loads(output.read_text())
+    assert history == [{"a": 1}, {"b": 2}]
+
+
+def test_append_record_preserves_corrupt_history(tmp_path, capsys):
+    output = tmp_path / "BENCH_throughput.json"
+    output.write_text("{not json")
+    append_record({"a": 1}, output)
+    assert json.loads(output.read_text()) == [{"a": 1}]
+    backup = tmp_path / "BENCH_throughput.json.corrupt"
+    assert backup.read_text() == "{not json"
+
+
+def test_cli_bench_subcommand(tmp_path, capsys):
+    output = tmp_path / "bench.json"
+    exit_code = cli_main([
+        "bench", "--scale", "4096", "--accesses", "30", "--rounds", "1",
+        "--protocols", "baseline", "--engines", "compiled",
+        "--output", str(output),
+    ])
+    assert exit_code == 0
+    history = json.loads(output.read_text())
+    assert len(history) == 1
+    assert "baseline/compiled" in history[0]["measurements"]

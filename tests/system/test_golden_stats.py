@@ -1,0 +1,53 @@
+"""Statistics-drift guard: a fixed scenario must reproduce golden counters.
+
+The checked-in golden file (``tests/golden/throughput_smoke.json``) holds the
+integer statistics of a small facesim run for the ``baseline`` and ``c3d``
+designs.  Any change to the simulation model -- caches, protocols, placement,
+trace generation, engine -- that alters behaviour shows up as a drift here
+and must be accompanied by a deliberate regeneration of the golden file
+(``python tests/golden/regen.py``).  Performance-only changes must pass
+untouched; CI runs this as part of the tier-1 suite.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.system.config import SystemConfig
+from repro.system.numa_system import NumaSystem
+from repro.system.simulator import Simulator
+from repro.workloads.registry import make_workload
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "throughput_smoke.json"
+
+
+def load_golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("protocol", ["baseline", "c3d"])
+def test_statistics_match_golden(protocol):
+    golden = load_golden()
+    expected = golden["protocols"][protocol]
+    scale = golden["scale"]
+    accesses = golden["accesses_per_core"]
+
+    config = SystemConfig.quad_socket(protocol=protocol).scaled(scale)
+    system = NumaSystem(config)
+    workload = make_workload(
+        golden["workload"], scale=scale, accesses_per_thread=accesses,
+        num_threads=config.total_cores,
+    )
+    result = Simulator(system, workload).run(prewarm=True)
+
+    actual = {}
+    for name, want in expected.items():
+        if name == "accesses_executed":
+            actual[name] = result.accesses_executed
+        elif name == "inter_socket_bytes":
+            actual[name] = result.inter_socket_bytes
+        else:
+            actual[name] = getattr(result.stats, name)
+    drift = {k: (expected[k], actual[k]) for k in expected if expected[k] != actual[k]}
+    assert not drift, f"statistics drift vs golden for {protocol}: {drift}"

@@ -1,0 +1,22 @@
+"""Make ``import repro`` work when the examples run from a source checkout.
+
+The test suite gets ``src/`` on ``sys.path`` from ``pyproject.toml``'s
+``pythonpath = ["src"]``, and installed usage gets it from the package
+metadata -- but ``python examples/quickstart.py`` from a bare checkout has
+neither.  Each example imports this module first; it appends ``../src`` to
+``sys.path`` only when ``repro`` is not already importable, so an installed
+copy always wins.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # an installed (or PYTHONPATH-provided) repro takes precedence
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - depends on invocation environment
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir():
+        sys.path.insert(0, str(_SRC))
+    import repro  # noqa: F401

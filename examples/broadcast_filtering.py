@@ -18,6 +18,8 @@ Run with::
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (makes src/ importable without PYTHONPATH)
+
 from repro.experiments import ExperimentContext, ExperimentSettings
 from repro.stats.report import format_table
 

@@ -20,6 +20,8 @@ Run with::
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (makes src/ importable without PYTHONPATH)
+
 from dataclasses import replace
 
 from repro.experiments import ExperimentContext, ExperimentSettings

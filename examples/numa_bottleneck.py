@@ -15,6 +15,8 @@ Run with::
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (makes src/ importable without PYTHONPATH)
+
 import argparse
 
 from repro.experiments import ExperimentContext, ExperimentSettings

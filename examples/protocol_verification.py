@@ -19,6 +19,8 @@ Run with::
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (makes src/ importable without PYTHONPATH)
+
 import time
 
 from repro.verification import ProtocolVariant, check_protocol

@@ -1,10 +1,21 @@
 #!/usr/bin/env python3
-"""Quickstart: simulate one workload on a C3D machine and print what happened.
+"""Quickstart: simulate a workload, record its trace, and replay it exactly.
 
-This is the smallest end-to-end use of the library: build the paper's
-quad-socket machine (scaled down so the run takes seconds), generate a
-synthetic `streamcluster` trace, run it under the C3D coherence design and
-print the cache behaviour, AMAT breakdown and NUMA traffic statistics.
+The smallest end-to-end use of the library, in three steps:
+
+1. build the paper's quad-socket machine (scaled down so the run takes
+   seconds), generate a synthetic ``streamcluster`` trace, run it under the
+   C3D coherence design and print the cache/NUMA statistics;
+2. record the same workload to a trace directory on disk
+   (``record_workload``), the API behind ``repro --record-trace``;
+3. replay the recorded traces (``TraceDirWorkload``, the API behind
+   ``repro --trace-dir``) and check the replay statistics are bit-identical
+   to the direct run.
+
+The equivalent CLI commands::
+
+    PYTHONPATH=src python -m repro --workload streamcluster --record-trace traces/sc
+    PYTHONPATH=src python -m repro --trace-dir traces/sc
 
 Run with::
 
@@ -13,12 +24,29 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
+import _bootstrap  # noqa: F401  (makes src/ importable without PYTHONPATH)
+
 from repro import NumaSystem, Simulator, SystemConfig, amat_breakdown, make_workload
+from repro.workloads import TraceDirWorkload, record_workload
 
 #: Scale factor applied to capacities and working sets (see DESIGN.md §5).
 SCALE = 512
 ACCESSES_PER_CORE = 2000
 WARMUP_PER_CORE = 500
+
+
+def run_once(workload) -> "object":
+    """Build a fresh machine, run ``workload`` on it, return the result."""
+    config = SystemConfig.quad_socket(protocol="c3d").scaled(SCALE)
+    system = NumaSystem(config)
+    simulator = Simulator(system, workload)
+    result = simulator.run(warmup_accesses_per_core=WARMUP_PER_CORE, prewarm=True)
+    violations = system.check_invariants()
+    assert not violations, violations
+    return result
 
 
 def main() -> None:
@@ -27,8 +55,7 @@ def main() -> None:
     config = SystemConfig.quad_socket(protocol="c3d").scaled(SCALE)
     print(f"Machine     : {config.describe()}")
 
-    # 2. Build the machine and a workload whose working set is scaled the same way.
-    system = NumaSystem(config)
+    # 2. A workload whose working set is scaled the same way as the machine.
     workload = make_workload(
         "streamcluster",
         scale=SCALE,
@@ -39,8 +66,7 @@ def main() -> None:
           f"~{workload.total_footprint_bytes() / 2**20:.1f} MB footprint (scaled)")
 
     # 3. Run: pre-warm the DRAM caches, discard a short warm-up window, measure.
-    simulator = Simulator(system, workload)
-    result = simulator.run(warmup_accesses_per_core=WARMUP_PER_CORE, prewarm=True)
+    result = run_once(workload)
 
     # 4. Report.
     stats = result.stats
@@ -55,8 +81,27 @@ def main() -> None:
     print()
     print(amat_breakdown(stats).format())
 
-    violations = system.check_invariants()
-    print(f"\nCoherence invariant check: {'OK' if not violations else violations}")
+    # 5. Record the workload to per-core trace files (the `--record-trace`
+    #    path) and replay them from disk (the `--trace-dir` path).  Replay is
+    #    exact: the trace directory's manifest captures the memory-region
+    #    hints, so page placement, pre-warm content and therefore every
+    #    statistic match the direct run bit for bit.
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_dir = Path(tmp) / "streamcluster-trace"
+        record_workload(workload, trace_dir, trace_format="bin.gz")
+        n_files = len(list(trace_dir.iterdir()))
+        print(f"\nRecorded {n_files - 1} per-core traces + manifest -> {trace_dir}")
+
+        replayed = run_once(TraceDirWorkload(trace_dir))
+        identical = (
+            replayed.stats.as_dict() == stats.as_dict()
+            and replayed.total_time_ns == result.total_time_ns
+            and replayed.inter_socket_bytes == result.inter_socket_bytes
+        )
+        print(f"Replayed    : {replayed.accesses_executed} accesses from disk")
+        print(f"Replay statistics bit-identical to direct run: "
+              f"{'OK' if identical else 'MISMATCH'}")
+        assert identical, "trace replay diverged from the direct run"
 
 
 if __name__ == "__main__":

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 from .system.config import SystemConfig
 from .system.numa_system import NumaSystem
 from .system.simulator import ENGINES, Simulator
-from .workloads.registry import make_workload
+from .workloads.scenario import build_workload
 
 __all__ = ["run_benchmark", "build_parser", "main"]
 
@@ -35,11 +35,26 @@ DEFAULT_OUTPUT = "BENCH_throughput.json"
 DEFAULT_PROTOCOLS = ("baseline", "c3d")
 
 
-def _run_once(protocol: str, engine: str, *, scale: int, accesses: int, workload: str) -> Dict:
+def _run_once(
+    protocol: str,
+    engine: str,
+    *,
+    scale: int,
+    accesses: int,
+    workload: str,
+    trace_dir: Optional[str] = None,
+    scenario: Optional[str] = None,
+) -> Dict:
     config = SystemConfig.quad_socket(protocol=protocol).scaled(scale)
     system = NumaSystem(config)
-    wl = make_workload(
-        workload, scale=scale, accesses_per_thread=accesses, num_threads=config.total_cores
+    wl = build_workload(
+        num_sockets=config.num_sockets,
+        cores_per_socket=config.cores_per_socket,
+        workload=workload,
+        trace_dir=trace_dir,
+        scenario=scenario,
+        scale=scale,
+        accesses_per_thread=accesses,
     )
     simulator = Simulator(system, wl, engine=engine)
     started = time.perf_counter()
@@ -60,20 +75,26 @@ def run_benchmark(
     accesses: int = 400,
     rounds: int = 3,
     workload: str = "facesim",
+    trace_dir: Optional[str] = None,
+    scenario: Optional[str] = None,
 ) -> Dict:
     """Run the throughput microbenchmark; returns one JSON-ready record.
 
     Each (protocol, engine) pair is run ``rounds`` times after one warm-up
     round; the best round is reported (the container-level noise on shared
-    machines makes best-of more stable than the mean).
+    machines makes best-of more stable than the mean).  ``trace_dir``
+    replays a recorded trace directory instead of generating ``workload``
+    (measuring the file-backed frontend, chunked trace compilation
+    included); ``scenario`` benchmarks a composed multi-program mix.
     """
     measurements: Dict[str, Dict] = {}
+    run_kwargs = dict(scale=scale, accesses=accesses, workload=workload,
+                      trace_dir=trace_dir, scenario=scenario)
     for protocol in protocols:
         for engine in engines:
-            _run_once(protocol, engine, scale=scale, accesses=accesses, workload=workload)
+            _run_once(protocol, engine, **run_kwargs)
             runs: List[Dict] = [
-                _run_once(protocol, engine, scale=scale, accesses=accesses, workload=workload)
-                for _ in range(rounds)
+                _run_once(protocol, engine, **run_kwargs) for _ in range(rounds)
             ]
             best = max(runs, key=lambda r: r["accesses_per_sec"])
             measurements[f"{protocol}/{engine}"] = {
@@ -82,9 +103,15 @@ def run_benchmark(
                 "executed": best["executed"],
                 "rounds": rounds,
             }
+    if trace_dir is not None:
+        workload_label = f"trace:{trace_dir}"
+    elif scenario is not None:
+        workload_label = f"scenario:{scenario}"
+    else:
+        workload_label = workload
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "workload": workload,
+        "workload": workload_label,
         "scale": scale,
         "accesses_per_core": accesses,
         "python": platform.python_version(),
@@ -132,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="measured accesses per core")
     parser.add_argument("--rounds", type=int, default=3, help="timed rounds per point")
     parser.add_argument("--workload", default="facesim")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="benchmark replay of a recorded trace directory "
+                             "instead of generating --workload")
+    parser.add_argument("--scenario", default=None, metavar="NAME_OR_JSON",
+                        help="benchmark a composed scenario instead of "
+                             "--workload (exclusive with --trace-dir)")
     parser.add_argument("--protocols", nargs="+", default=list(DEFAULT_PROTOCOLS))
     parser.add_argument("--engines", nargs="+", default=list(ENGINES),
                         choices=list(ENGINES))
@@ -149,6 +182,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         accesses=args.accesses,
         rounds=args.rounds,
         workload=args.workload,
+        trace_dir=args.trace_dir,
+        scenario=args.scenario,
     )
     print(json.dumps(record, indent=2))
     if args.output != "-":

@@ -5,14 +5,22 @@ Usage::
     python -m repro --workload streamcluster --protocol c3d
     python -m repro --workload facesim --protocol full-dir --sockets 2 \
         --cores-per-socket 16 --scale 1024 --accesses 2000
+    python -m repro --workload facesim --record-trace traces/facesim
+    python -m repro --trace-dir traces/facesim      # exact replay
+    python -m repro --scenario het-quad             # multi-program mix
     python -m repro bench                 # throughput microbenchmark
     python -m repro bench --accesses 100  # CI-sized smoke
 
 The CLI is a thin wrapper over the public API (``SystemConfig`` /
 ``NumaSystem`` / ``Simulator``); it exists so that a single simulation can be
-launched and inspected without writing a script.  The ``bench`` subcommand
-(see :mod:`repro.bench`) runs the simulator-throughput microbenchmark and
-appends the result to ``BENCH_throughput.json``.
+launched and inspected without writing a script.  Workloads come from any of
+the three frontends (see ``docs/workloads.md``): the synthetic registry
+(``--workload``), a recorded trace directory (``--trace-dir``), or a scenario
+composition (``--scenario``, a built-in name or a JSON file);
+``--record-trace DIR`` captures the selected workload to a trace directory
+before simulating it.  The ``bench`` subcommand (see :mod:`repro.bench`)
+runs the simulator-throughput microbenchmark and appends the result to
+``BENCH_throughput.json``.
 """
 
 from __future__ import annotations
@@ -26,7 +34,9 @@ from .stats.amat import amat_breakdown
 from .system.config import PROTOCOL_NAMES, SystemConfig
 from .system.numa_system import NumaSystem
 from .system.simulator import ENGINES, Simulator
-from .workloads.registry import WORKLOAD_SPECS, make_workload
+from .workloads.registry import WORKLOAD_SPECS
+from .workloads.scenario import build_workload
+from .workloads.trace_io import TRACE_FORMATS, record_workload
 
 __all__ = ["build_parser", "main"]
 
@@ -58,7 +68,48 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=None, help="workload RNG seed")
     parser.add_argument("--engine", default="compiled", choices=list(ENGINES),
                         help="execution engine (compiled = array-backed fast path)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="replay a recorded trace directory instead of "
+                             "generating --workload (see docs/workloads.md)")
+    parser.add_argument("--scenario", default=None, metavar="NAME_OR_JSON",
+                        help="compose the workload from a scenario: a built-in "
+                             "name (repro.workloads.scenario_names()) or a "
+                             "scenario JSON file")
+    parser.add_argument("--record-trace", default=None, metavar="DIR",
+                        help="record the selected workload to a trace directory "
+                             "before simulating (replay it with --trace-dir)")
+    parser.add_argument("--trace-format", default="csv", choices=list(TRACE_FORMATS),
+                        help="file format used by --record-trace")
     return parser
+
+
+def _build_workload(args, config):
+    """Construct the workload from whichever frontend the flags select.
+
+    Frontend-selection problems (conflicting flags, unknown scenario names,
+    unreadable trace directories) exit with a one-line message instead of a
+    traceback.
+    """
+    if args.trace_dir is not None and args.scenario is not None:
+        raise SystemExit("--trace-dir and --scenario are mutually exclusive")
+    if args.trace_dir is not None and args.record_trace is not None:
+        raise SystemExit("--record-trace makes no sense with --trace-dir "
+                         "(the trace is already on disk)")
+    try:
+        return build_workload(
+            num_sockets=config.num_sockets,
+            cores_per_socket=config.cores_per_socket,
+            workload=args.workload,
+            trace_dir=args.trace_dir,
+            scenario=args.scenario,
+            scale=args.scale,
+            accesses_per_thread=args.accesses + args.warmup,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        # KeyError.str() keeps its quotes; unwrap for a clean message.
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"error: {message}") from None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -80,17 +131,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     ).scaled(args.scale)
 
     system = NumaSystem(config)
-    workload = make_workload(
-        args.workload,
-        scale=args.scale,
-        accesses_per_thread=args.accesses + args.warmup,
-        num_threads=config.total_cores,
-        seed=args.seed,
-    )
+    workload = _build_workload(args, config)
+    if args.record_trace is not None:
+        record_workload(workload, args.record_trace, trace_format=args.trace_format)
+        print(f"recorded : {workload.num_threads} per-core traces "
+              f"({args.trace_format}) -> {args.record_trace}")
     simulator = Simulator(system, workload, engine=args.engine)
 
     print(f"machine  : {config.describe()}")
-    print(f"workload : {args.workload} ({workload.num_threads} threads)")
+    name = getattr(workload, "name", args.workload)
+    print(f"workload : {name} ({workload.num_threads} threads)")
+    if args.scenario is not None:
+        print(workload.describe())
     started = time.time()
     result = simulator.run(
         warmup_accesses_per_core=args.warmup,

@@ -63,9 +63,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (workload, design, machine) simulation of a figure sweep."""
+    """One (workload, design, machine) simulation of a figure sweep.
 
-    workload: str
+    The workload comes from any of the three frontends (docs/workloads.md):
+    ``workload`` names a synthetic benchmark from the registry; setting
+    ``trace_dir`` replays a recorded trace directory instead; setting
+    ``scenario`` (a built-in name or a scenario JSON path) builds a composed
+    multi-program mix.  ``trace_dir`` and ``scenario`` are mutually
+    exclusive and both override ``workload``.
+    """
+
+    workload: str = "facesim"
     protocol: str = "c3d"
     scale: int = 512
     accesses_per_thread: int = 3000
@@ -76,6 +84,8 @@ class SweepPoint:
     prewarm: bool = True
     broadcast_filter: bool = False
     seed: Optional[int] = None
+    trace_dir: Optional[str] = None
+    scenario: Optional[str] = None
 
 
 @dataclass
@@ -96,7 +106,7 @@ def _run_sweep_point(point: SweepPoint) -> SweepResult:
     from ..system.config import SystemConfig
     from ..system.numa_system import NumaSystem
     from ..system.simulator import Simulator
-    from ..workloads.registry import make_workload
+    from ..workloads.scenario import build_workload
 
     base = SystemConfig.dual_socket if point.num_sockets == 2 else SystemConfig.quad_socket
     config = base(
@@ -107,11 +117,14 @@ def _run_sweep_point(point: SweepPoint) -> SweepResult:
         broadcast_filter=point.broadcast_filter,
     ).scaled(point.scale)
     system = NumaSystem(config)
-    workload = make_workload(
-        point.workload,
+    workload = build_workload(
+        num_sockets=point.num_sockets,
+        cores_per_socket=point.cores_per_socket,
+        workload=point.workload,
+        trace_dir=point.trace_dir,
+        scenario=point.scenario,
         scale=point.scale,
         accesses_per_thread=point.accesses_per_thread + point.warmup_accesses_per_thread,
-        num_threads=config.total_cores,
         seed=point.seed,
     )
     started = time.time()

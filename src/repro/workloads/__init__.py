@@ -1,4 +1,18 @@
-"""Workload substrate: synthetic trace generators for the paper's benchmarks."""
+"""Workload substrate: synthetic generators, trace files and scenario mixes.
+
+Three frontends produce the per-thread access streams the simulator runs:
+
+* **synthetic** (:mod:`.synthetic` + the :mod:`.registry`) -- parameterised
+  generators modelling the paper's PARSEC/CloudSuite/SPEC benchmarks;
+* **trace files** (:mod:`.trace_io`) -- on-disk CSV/binary traces, recorded
+  from any workload for exact replay or authored externally;
+* **scenarios** (:mod:`.scenario`) -- compositions of the other two into
+  multi-program, multi-socket mixes.
+
+All three implement the same workload protocol (``num_threads`` /
+``stream`` / ``compiled_trace`` / ``memory_regions`` /
+``serial_init_pages``) and run on both simulation engines.
+"""
 
 from .cloudsuite import CLOUDSUITE_SPECS, cloudsuite_names
 from .compiled import CompiledTrace, compile_trace, compile_workload
@@ -10,9 +24,29 @@ from .registry import (
     make_workload,
     workload_names,
 )
+from .scenario import (
+    SCENARIO_SPECS,
+    Scenario,
+    ScenarioEntry,
+    ScenarioWorkload,
+    build_scenario_workload,
+    build_workload,
+    get_scenario,
+    load_scenario,
+    scenario_names,
+)
 from .spec_suite import SPEC_SPECS, spec_names
 from .synthetic import REGION_NAMES, SyntheticWorkload, WorkloadSpec
 from .trace import MemoryAccess, materialise
+from .trace_io import (
+    TRACE_FORMATS,
+    TraceDirWorkload,
+    TraceFormatError,
+    compile_trace_file,
+    read_trace,
+    record_workload,
+    write_trace,
+)
 
 __all__ = [
     "MemoryAccess",
@@ -20,6 +54,22 @@ __all__ = [
     "CompiledTrace",
     "compile_trace",
     "compile_workload",
+    "TRACE_FORMATS",
+    "TraceFormatError",
+    "TraceDirWorkload",
+    "read_trace",
+    "write_trace",
+    "compile_trace_file",
+    "record_workload",
+    "Scenario",
+    "ScenarioEntry",
+    "ScenarioWorkload",
+    "SCENARIO_SPECS",
+    "scenario_names",
+    "get_scenario",
+    "load_scenario",
+    "build_scenario_workload",
+    "build_workload",
     "WorkloadSpec",
     "SyntheticWorkload",
     "REGION_NAMES",

@@ -1,21 +1,29 @@
-"""Compiled (array-backed) trace representation for the fast engine.
+"""Compiled (array-backed) trace representation: the default engine's input.
 
-The legacy simulation path materialises one :class:`~repro.workloads.trace.MemoryAccess`
-dataclass per memory reference and threads it through a generator; at
-figure-sweep scale the allocation and generator machinery dominate the
-simulator's run time.  A :class:`CompiledTrace` instead stores each per-thread
-access stream as flat parallel columns -- byte address, write flag,
-instruction gap, plus *precomputed* block and page numbers -- that the hot
-loop consumes by index.  The columns are plain Python lists of ints/bools
-(converted once from the vectorised numpy batches), which is the fastest
-indexed representation for a pure-Python consumer.
+Since PR 1 the ``compiled`` engine is the simulator's *default* execution
+path: every per-thread access stream is materialised into a
+:class:`CompiledTrace` -- flat parallel columns of byte address, write flag
+and instruction gap, plus *precomputed* block and page numbers -- that
+:meth:`Simulator._run_phase_compiled` consumes by index.  The columns are
+plain Python lists of ints/bools (converted once from vectorised numpy
+batches), which is the fastest indexed representation for a pure-Python
+consumer.  The one-``MemoryAccess``-dataclass-at-a-time generator path
+survives as the ``object`` engine, kept as the readable reference
+implementation and for equivalence testing.
 
-Any workload that exposes ``stream(thread_id)`` can be compiled with
-:func:`compile_trace`; workloads that can generate their batches vectorised
-(:class:`~repro.workloads.synthetic.SyntheticWorkload`) provide a
-``compiled_trace`` method that skips per-access object creation entirely.
-Both paths produce bit-identical access sequences, which the engine
-equivalence test (``tests/system/test_engine_equivalence.py``) locks in.
+Every workload frontend can produce a :class:`CompiledTrace`:
+
+* :class:`~repro.workloads.synthetic.SyntheticWorkload` builds one directly
+  from its vectorised numpy batches (``compiled_trace``), never allocating
+  per-access objects;
+* trace files compile in bounded-memory chunks via
+  :func:`~repro.workloads.trace_io.compile_trace_file`;
+* any other object exposing ``stream(thread_id)`` goes through the generic
+  :func:`compile_trace` fallback, which drains the stream once.
+
+All paths produce bit-identical access sequences and therefore bit-identical
+simulation statistics, which ``tests/system/test_engine_equivalence.py`` and
+``tests/system/test_trace_replay.py`` lock in.
 """
 
 from __future__ import annotations
@@ -62,6 +70,7 @@ class CompiledTrace:
 
     @classmethod
     def empty(cls) -> "CompiledTrace":
+        """A zero-length trace (used for idle cores, e.g. scenario gaps)."""
         return cls([], [], [], [], [])
 
     @classmethod
@@ -73,7 +82,17 @@ class CompiledTrace:
         *,
         layout: Optional[AddressLayout] = None,
     ) -> "CompiledTrace":
-        """Build a trace from numpy columns, precomputing block/page numbers."""
+        """Build a trace from numpy columns, precomputing block/page numbers.
+
+        Parameters
+        ----------
+        addrs, writes, gaps:
+            Equal-length 1-D arrays (or array-likes) of byte addresses,
+            store flags and instruction gaps.
+        layout:
+            Address layout used for the block/page precomputation
+            (:data:`~repro.memory.address.DEFAULT_LAYOUT` when omitted).
+        """
         layout = layout or DEFAULT_LAYOUT
         addrs = np.asarray(addrs, dtype=np.int64)
         blocks = addrs // layout.block_size

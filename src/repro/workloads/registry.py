@@ -1,7 +1,15 @@
 """Workload registry: every benchmark the paper evaluates, by name.
 
 The registry is the single entry point used by the examples, the experiment
-harness and the benchmarks:
+harness and the benchmarks.  :data:`WORKLOAD_SPECS` merges the three suite
+modules -- :data:`~repro.workloads.parsec.PARSEC_SPECS` (five multi-threaded
+PARSEC 3.0 benchmarks), :data:`~repro.workloads.cloudsuite.CLOUDSUITE_SPECS`
+(four server workloads) and :data:`~repro.workloads.spec_suite.SPEC_SPECS`
+(the single-threaded mcf) -- and :func:`make_workload` instantiates any of
+them as a :class:`~repro.workloads.synthetic.SyntheticWorkload`.  Named
+multi-program compositions live in the sibling scenario registry
+(:data:`repro.workloads.scenario.SCENARIO_SPECS`); see ``docs/workloads.md``
+for the full tour.
 
 >>> from repro.workloads import make_workload, workload_names
 >>> workload_names()[:3]

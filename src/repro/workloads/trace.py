@@ -1,4 +1,13 @@
-"""Trace record format consumed by the simulation driver."""
+"""The in-memory trace record every workload frontend produces.
+
+A workload's ``stream(thread_id)`` yields :class:`MemoryAccess` records --
+one per memory reference -- regardless of where the trace comes from: the
+synthetic generators (:mod:`repro.workloads.synthetic`), a trace file on
+disk (:mod:`repro.workloads.trace_io`, whose CSV/binary records map
+field-for-field onto :class:`MemoryAccess`), or a scenario composition
+(:mod:`repro.workloads.scenario`).  The compiled engine stores the same
+three fields as flat columns instead (:mod:`repro.workloads.compiled`).
+"""
 
 from __future__ import annotations
 
@@ -29,7 +38,16 @@ class MemoryAccess:
 
 
 def materialise(stream: Iterable[MemoryAccess], limit: int = None) -> List[MemoryAccess]:
-    """Collect (a prefix of) a trace stream into a list, mainly for tests."""
+    """Collect (a prefix of) a trace stream into a list, mainly for tests.
+
+    Parameters
+    ----------
+    stream:
+        Any iterable of :class:`MemoryAccess`.
+    limit:
+        Stop after this many records (``None`` collects the whole stream --
+        beware of long traces).
+    """
     out: List[MemoryAccess] = []
     for i, access in enumerate(stream):
         if limit is not None and i >= limit:

@@ -1,0 +1,51 @@
+"""The docs link checker must pass on the repo and catch broken links."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repo_docs_have_no_broken_links(capsys):
+    checker = _load_checker()
+    assert checker.main([]) == 0
+    out = capsys.readouterr().out
+    assert "all intra-repo links resolve" in out
+
+
+def test_checker_scans_readme_and_all_docs():
+    checker = _load_checker()
+    documents = {d.name for d in checker.default_documents(REPO_ROOT)}
+    assert "README.md" in documents
+    assert {"workloads.md", "experiments.md", "performance.md"} <= documents
+
+
+def test_checker_flags_broken_links(tmp_path):
+    checker = _load_checker()
+    doc = tmp_path / "page.md"
+    doc.write_text(
+        "[ok](https://example.com) [anchor](#here)\n"
+        "[missing](does/not/exist.md)\n"
+        "![img](gone.png)\n"
+    )
+    broken = list(checker.broken_links(doc))
+    assert broken == [(2, "does/not/exist.md"), (3, "gone.png")]
+    assert checker.main([str(doc)]) == 1
+
+
+def test_checker_accepts_anchored_relative_links(tmp_path):
+    checker = _load_checker()
+    (tmp_path / "other.md").write_text("# hi\n")
+    doc = tmp_path / "page.md"
+    doc.write_text("[sect](other.md#section)\n")
+    assert list(checker.broken_links(doc)) == []

@@ -50,3 +50,64 @@ def test_cli_with_broadcast_filter_and_interleave(capsys):
     captured = capsys.readouterr()
     assert exit_code == 0
     assert "broadcasts / elided" in captured.out
+
+
+def test_cli_record_then_replay_identical_report(tmp_path, capsys):
+    trace_dir = tmp_path / "rec"
+    args = [
+        "--workload", "streamcluster",
+        "--sockets", "2",
+        "--cores-per-socket", "1",
+        "--scale", "4096",
+        "--accesses", "80",
+        "--warmup", "20",
+    ]
+    assert main(args + ["--record-trace", str(trace_dir)]) == 0
+    direct = capsys.readouterr().out
+    assert f"recorded : 2 per-core traces (csv) -> {trace_dir}" in direct
+
+    assert main(args + ["--trace-dir", str(trace_dir)]) == 0
+    replayed = capsys.readouterr().out
+    # Identical statistics block (strip the banner/wall-clock lines).
+    pick = lambda text: [l for l in text.splitlines()
+                         if ":" in l and "wall clock" not in l
+                         and "recorded" not in l and "machine" not in l]
+    assert pick(direct) == pick(replayed)
+
+
+def test_cli_scenario_run(capsys):
+    exit_code = main([
+        "--scenario", "het-dual",
+        "--sockets", "2",
+        "--cores-per-socket", "1",
+        "--scale", "4096",
+        "--accesses", "60",
+        "--warmup", "0",
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "scenario 'het-dual'" in captured.out
+    assert "coherence invariants: OK" in captured.out
+
+
+def test_cli_trace_dir_and_scenario_are_exclusive():
+    with pytest.raises(SystemExit):
+        main(["--trace-dir", "x", "--scenario", "het-dual"])
+
+
+def test_cli_record_with_trace_dir_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--trace-dir", str(tmp_path), "--record-trace", str(tmp_path)])
+
+
+def test_cli_unknown_scenario_exits_cleanly(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--scenario", "no-such-scenario"])
+    assert "unknown scenario" in str(excinfo.value)
+
+
+def test_cli_bad_trace_dir_exits_cleanly(tmp_path):
+    (tmp_path / "empty").mkdir()
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--trace-dir", str(tmp_path / "empty")])
+    assert "missing manifest.json" in str(excinfo.value)

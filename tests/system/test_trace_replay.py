@@ -1,0 +1,102 @@
+"""Golden replay: recorded traces must reproduce the original run bit for bit.
+
+The acceptance property of the trace frontend: a synthetic workload recorded
+to a trace directory and replayed through :class:`TraceDirWorkload` yields
+**bit-identical** :class:`SimulationStats` to the direct run, on both the
+``compiled`` and the ``object`` engine.  This holds because the trace files
+preserve the exact access sequences and the manifest preserves the
+``memory_regions`` hint that drives first-touch placement and DRAM-cache
+pre-warming.
+"""
+
+import pytest
+
+from repro.experiments.runner import SweepPoint, run_sweep
+from repro.system.config import SystemConfig
+from repro.system.numa_system import NumaSystem
+from repro.system.simulator import Simulator
+from repro.workloads.registry import make_workload
+from repro.workloads.scenario import build_scenario_workload
+from repro.workloads.trace_io import TraceDirWorkload, record_workload
+
+SCALE = 1024
+ACCESSES = 250
+WARMUP = 50
+
+
+def run(workload, engine, *, protocol="c3d", policy="first_touch"):
+    config = SystemConfig.quad_socket(
+        protocol=protocol, allocation_policy=policy
+    ).scaled(SCALE)
+    system = NumaSystem(config)
+    simulator = Simulator(system, workload, engine=engine)
+    return simulator.run(prewarm=True, warmup_accesses_per_core=WARMUP)
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    workload = make_workload(
+        "facesim", scale=SCALE, accesses_per_thread=ACCESSES + WARMUP, num_threads=32
+    )
+    directory = tmp_path_factory.mktemp("traces") / "facesim"
+    record_workload(workload, directory, trace_format="bin.gz")
+    return workload, directory
+
+
+@pytest.mark.parametrize("engine", ["compiled", "object"])
+def test_replay_bit_identical(recorded, engine):
+    workload, directory = recorded
+    direct = run(workload, engine)
+    replayed = run(TraceDirWorkload(directory), engine)
+    assert replayed.stats.as_dict() == direct.stats.as_dict()
+    assert replayed.total_time_ns == direct.total_time_ns
+    assert replayed.inter_socket_bytes == direct.inter_socket_bytes
+    assert replayed.accesses_executed == direct.accesses_executed
+    assert replayed.stats.core_finish_ns == direct.stats.core_finish_ns
+
+
+def test_replay_bit_identical_under_ft1(recorded):
+    """serial_init_pages derived from the manifest matches the original."""
+    workload, directory = recorded
+    direct = run(workload, "compiled", policy="ft1")
+    replayed = run(TraceDirWorkload(directory), "compiled", policy="ft1")
+    assert replayed.stats.as_dict() == direct.stats.as_dict()
+
+
+def test_replay_engines_agree_with_each_other(recorded):
+    _workload, directory = recorded
+    compiled = run(TraceDirWorkload(directory), "compiled")
+    legacy = run(TraceDirWorkload(directory), "object")
+    assert compiled.stats.as_dict() == legacy.stats.as_dict()
+    assert compiled.total_time_ns == legacy.total_time_ns
+
+
+def test_scenario_engines_agree():
+    """Composed scenario workloads are engine-equivalent too."""
+
+    def run_scenario(engine):
+        workload = build_scenario_workload(
+            "het-quad", num_sockets=4, cores_per_socket=8, scale=SCALE,
+            accesses_per_thread=120,
+        )
+        return run(workload, engine)
+
+    compiled = run_scenario("compiled")
+    legacy = run_scenario("object")
+    assert compiled.stats.as_dict() == legacy.stats.as_dict()
+    assert compiled.inter_socket_bytes == legacy.inter_socket_bytes
+
+
+def test_sweep_runner_accepts_trace_dir_and_scenario(recorded):
+    _workload, directory = recorded
+    points = [
+        SweepPoint(trace_dir=str(directory), protocol="c3d", scale=SCALE,
+                   accesses_per_thread=ACCESSES, warmup_accesses_per_thread=WARMUP),
+        SweepPoint(scenario="het-quad", protocol="c3d", scale=SCALE,
+                   accesses_per_thread=80, warmup_accesses_per_thread=0),
+    ]
+    results = run_sweep(points)
+    assert results[0].accesses_executed == 32 * ACCESSES
+    assert results[1].accesses_executed == 32 * 80
+    with pytest.raises(ValueError, match="exclusive"):
+        run_sweep([SweepPoint(trace_dir=str(directory), scenario="het-quad")])

@@ -1,0 +1,223 @@
+"""Tests for the on-disk trace formats and the trace-directory workload."""
+
+import gzip
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.compiled import compile_trace
+from repro.workloads.registry import make_workload
+from repro.workloads.trace import MemoryAccess
+from repro.workloads.trace_io import (
+    BINARY_MAGIC,
+    TRACE_FORMATS,
+    TraceDirWorkload,
+    TraceFormatError,
+    compile_trace_file,
+    read_trace,
+    read_trace_bin,
+    read_trace_csv,
+    record_workload,
+    trace_format_of,
+    write_trace,
+    write_trace_bin,
+    write_trace_csv,
+)
+
+accesses_strategy = st.lists(
+    st.builds(
+        MemoryAccess,
+        addr=st.integers(min_value=0, max_value=2**47),
+        is_write=st.booleans(),
+        gap=st.integers(min_value=0, max_value=10**6),
+    ),
+    max_size=200,
+)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(accesses=accesses_strategy, fmt=st.sampled_from(TRACE_FORMATS))
+def test_round_trip_property(tmp_path_factory, accesses, fmt):
+    """CSV and binary (plain and gzipped) preserve every record exactly."""
+    path = tmp_path_factory.mktemp("rt") / f"trace.{fmt}"
+    written = write_trace(path, accesses)
+    assert written == len(accesses)
+    assert list(read_trace(path)) == accesses
+
+
+def test_csv_and_binary_agree(tmp_path):
+    accesses = [MemoryAccess(64 * i, is_write=i % 3 == 0, gap=i % 7) for i in range(50)]
+    csv_path = tmp_path / "t.csv"
+    bin_path = tmp_path / "t.bin"
+    write_trace_csv(csv_path, accesses)
+    write_trace_bin(bin_path, accesses)
+    assert list(read_trace_csv(csv_path)) == list(read_trace_bin(bin_path)) == accesses
+
+
+def test_csv_accepts_hex_comments_blanks_and_header(tmp_path):
+    path = tmp_path / "hand.csv"
+    path.write_text(
+        "# a hand-written trace\n"
+        "addr,is_write,gap\n"
+        "\n"
+        "0x1000, 1, 2\n"
+        "4096,0,0\n"
+    )
+    records = list(read_trace_csv(path))
+    assert records == [
+        MemoryAccess(0x1000, is_write=True, gap=2),
+        MemoryAccess(4096, is_write=False, gap=0),
+    ]
+
+
+def test_gzip_files_are_actually_gzipped(tmp_path):
+    path = tmp_path / "t.csv.gz"
+    write_trace(path, [MemoryAccess(64)])
+    with gzip.open(path, "rt") as handle:  # raises if not gzip
+        assert "64" in handle.read()
+
+
+def test_compile_trace_file_matches_generic_compile(tmp_path):
+    """Chunked file compilation equals compiling the in-memory stream."""
+    workload = make_workload("facesim", scale=1024, accesses_per_thread=700)
+    path = tmp_path / "t.bin"
+    write_trace(path, workload.stream(1))
+    compiled = compile_trace_file(path, layout=workload.layout, chunk_records=64)
+    reference = compile_trace(workload, 1)
+    assert compiled.addrs == reference.addrs
+    assert compiled.writes == reference.writes
+    assert compiled.gaps == reference.gaps
+    assert compiled.blocks == reference.blocks
+    assert compiled.pages == reference.pages
+
+
+# ----------------------------------------------------------------------
+# Malformed input: error messages must locate the problem
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "line, fragment",
+    [
+        ("1,2", "expected 3 comma-separated fields"),
+        ("abc,0,1", "invalid address 'abc'"),
+        ("64,2,1", "invalid is_write flag '2'"),
+        ("64,0,x", "invalid gap 'x'"),
+        ("-4,0,1", "address must be non-negative"),
+        ("64,0,-1", "gap must be non-negative"),
+    ],
+)
+def test_csv_malformed_records(tmp_path, line, fragment):
+    path = tmp_path / "bad.csv"
+    path.write_text("addr,is_write,gap\n64,0,0\n" + line + "\n")
+    with pytest.raises(TraceFormatError) as excinfo:
+        list(read_trace_csv(path))
+    message = str(excinfo.value)
+    assert fragment in message
+    assert f"{path}:3" in message  # file and 1-based line number
+
+
+def test_binary_bad_magic(tmp_path):
+    path = tmp_path / "bad.bin"
+    path.write_bytes(b"NOTATRACE")
+    with pytest.raises(TraceFormatError, match="bad magic"):
+        list(read_trace_bin(path))
+
+
+def test_binary_truncated_record(tmp_path):
+    path = tmp_path / "trunc.bin"
+    write_trace_bin(path, [MemoryAccess(64), MemoryAccess(128)])
+    data = path.read_bytes()
+    path.write_bytes(data[:-5])
+    with pytest.raises(TraceFormatError, match="truncated record after 1 records"):
+        list(read_trace_bin(path))
+
+
+def test_unknown_extension_rejected(tmp_path):
+    with pytest.raises(TraceFormatError, match="unrecognised trace extension"):
+        trace_format_of(tmp_path / "trace.txt")
+    with pytest.raises(TraceFormatError):
+        write_trace(tmp_path / "trace.parquet", [])
+
+
+def test_binary_range_checks(tmp_path):
+    with pytest.raises(TraceFormatError, match="does not fit int64"):
+        write_trace_bin(tmp_path / "a.bin", [MemoryAccess(2**64)])
+    with pytest.raises(TraceFormatError, match="gap"):
+        write_trace_bin(tmp_path / "b.bin", [MemoryAccess(0, gap=2**31)])
+
+
+# ----------------------------------------------------------------------
+# Trace directories
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def small_workload():
+    return make_workload("facesim", scale=2048, accesses_per_thread=120, num_threads=3)
+
+
+def test_record_and_replay_directory(tmp_path, small_workload):
+    directory = record_workload(small_workload, tmp_path / "dir", trace_format="csv")
+    replay = TraceDirWorkload(directory)
+    assert replay.num_threads == 3
+    assert replay.name == small_workload.name
+    for thread_id in range(3):
+        assert list(replay.stream(thread_id)) == list(small_workload.stream(thread_id))
+    assert replay.memory_regions() == small_workload.memory_regions()
+    assert replay.serial_init_pages() == small_workload.serial_init_pages()
+
+
+def test_record_rejects_unknown_format(tmp_path, small_workload):
+    with pytest.raises(TraceFormatError, match="unknown trace format"):
+        record_workload(small_workload, tmp_path / "dir", trace_format="parquet")
+
+
+def test_missing_manifest(tmp_path):
+    (tmp_path / "empty").mkdir()
+    with pytest.raises(TraceFormatError, match="missing manifest.json"):
+        TraceDirWorkload(tmp_path / "empty")
+
+
+def test_corrupt_manifest(tmp_path):
+    directory = tmp_path / "corrupt"
+    directory.mkdir()
+    (directory / "manifest.json").write_text("{not json")
+    with pytest.raises(TraceFormatError, match="invalid JSON"):
+        TraceDirWorkload(directory)
+
+
+def test_manifest_missing_keys(tmp_path):
+    directory = tmp_path / "incomplete"
+    directory.mkdir()
+    (directory / "manifest.json").write_text(json.dumps({"num_threads": 1}))
+    with pytest.raises(TraceFormatError, match="missing required key 'trace_format'"):
+        TraceDirWorkload(directory)
+
+
+def test_missing_trace_file(tmp_path, small_workload):
+    directory = record_workload(small_workload, tmp_path / "dir", trace_format="csv")
+    replay = TraceDirWorkload(directory)
+    replay.trace_path(2).unlink()
+    with pytest.raises(TraceFormatError, match="missing trace file"):
+        list(replay.stream(2))
+    with pytest.raises(TraceFormatError, match="missing trace file"):
+        replay.compiled_trace(2)
+
+
+def test_thread_id_out_of_range(tmp_path, small_workload):
+    directory = record_workload(small_workload, tmp_path / "dir", trace_format="csv")
+    replay = TraceDirWorkload(directory)
+    with pytest.raises(ValueError, match="out of range"):
+        replay.trace_path(3)
+
+
+def test_binary_magic_constant_is_stable():
+    """The on-disk format identifier must never drift silently."""
+    assert BINARY_MAGIC == b"C3DTRC01"

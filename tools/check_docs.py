@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in README.md and docs/*.md.
+
+Scans every markdown link and image reference (``[text](target)`` /
+``![alt](target)``) in the repo's user-facing documentation.  External
+targets (``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``)
+are ignored; every other target is resolved relative to the containing file
+(anchors and query strings stripped) and must exist in the working tree.
+
+Usage::
+
+    python tools/check_docs.py            # from the repo root
+    python tools/check_docs.py README.md docs/workloads.md
+
+Exits 0 when every link resolves, 1 otherwise (listing each broken link as
+``file:line: target``).  Used by the CI ``docs`` job and by
+``tests/docs/test_doc_links.py``; stdlib-only on purpose.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Markdown inline link/image: [text](target) or ![alt](target).  Nested
+#: parentheses inside targets are not supported (none are used in this repo).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def repo_root() -> Path:
+    """The repository root (parent of this script's directory)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_documents(root: Path) -> List[Path]:
+    """The documents checked by default: README.md plus every docs/*.md."""
+    documents = [root / "README.md"]
+    documents.extend(sorted((root / "docs").glob("*.md")))
+    return [d for d in documents if d.is_file()]
+
+
+def broken_links(document: Path) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every unresolvable link."""
+    for lineno, line in enumerate(document.read_text().splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0].split("?", 1)[0]
+            if not path_part:
+                continue
+            resolved = (document.parent / path_part).resolve()
+            if not resolved.exists():
+                yield lineno, target
+
+
+def main(argv: List[str]) -> int:
+    root = repo_root()
+    documents = [Path(arg).resolve() for arg in argv] or default_documents(root)
+    failures: List[str] = []
+    checked = 0
+    for document in documents:
+        checked += 1
+        try:
+            shown = document.relative_to(root)
+        except ValueError:  # explicit argument outside the repo
+            shown = document
+        for lineno, target in broken_links(document):
+            failures.append(f"{shown}:{lineno}: {target}")
+    if failures:
+        print(f"{len(failures)} broken intra-repo link(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"checked {checked} document(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -12,6 +12,12 @@ Usage::
 
     python -m repro bench
     python -m repro bench --accesses 2000 --rounds 5 --output BENCH_throughput.json
+    python -m repro bench --store results/demo   # also persist the runs
+
+With ``--store DIR`` each measured simulation's statistics are additionally
+written to the persistent results store under its sweep-point content key
+(see ``docs/campaigns.md``), so a later campaign or ``repro report`` over
+the same points starts warm instead of re-simulating them.
 """
 
 from __future__ import annotations
@@ -60,11 +66,35 @@ def _run_once(
     started = time.perf_counter()
     result = simulator.run(prewarm=True)
     elapsed = time.perf_counter() - started
-    return {
+    measurement = {
         "executed": result.accesses_executed,
         "seconds": elapsed,
         "accesses_per_sec": result.accesses_executed / elapsed if elapsed > 0 else 0.0,
     }
+    return measurement, result
+
+
+def _store_run(store, protocol: str, engine: str, result, elapsed: float, *,
+               scale: int, accesses: int, workload: str,
+               trace_dir: Optional[str], scenario: Optional[str]) -> None:
+    """Persist one measured run under its sweep-point content key."""
+    from .experiments.runner import SweepPoint, sweep_point_key, sweep_point_payload
+    from .stats.store import StoredRun
+
+    point = SweepPoint(
+        workload=workload, protocol=protocol, scale=scale,
+        accesses_per_thread=accesses, warmup_accesses_per_thread=0,
+        trace_dir=trace_dir, scenario=scenario,
+    )
+    store.put(StoredRun(
+        key=sweep_point_key(point, engine),
+        params=sweep_point_payload(point, engine),
+        stats=result.stats,
+        total_time_ns=result.total_time_ns,
+        inter_socket_bytes=result.inter_socket_bytes,
+        accesses_executed=result.accesses_executed,
+        wall_clock_s=elapsed,
+    ))
 
 
 def run_benchmark(
@@ -77,6 +107,7 @@ def run_benchmark(
     workload: str = "facesim",
     trace_dir: Optional[str] = None,
     scenario: Optional[str] = None,
+    store=None,
 ) -> Dict:
     """Run the throughput microbenchmark; returns one JSON-ready record.
 
@@ -85,7 +116,11 @@ def run_benchmark(
     machines makes best-of more stable than the mean).  ``trace_dir``
     replays a recorded trace directory instead of generating ``workload``
     (measuring the file-backed frontend, chunked trace compilation
-    included); ``scenario`` benchmarks a composed multi-program mix.
+    included); ``scenario`` benchmarks a composed multi-program mix.  With a
+    ``store`` (a :class:`~repro.stats.store.ResultsStore`), each measured
+    pair's statistics are persisted under their sweep-point key so campaigns
+    and ``repro report`` can reuse them (simulations are deterministic, so
+    every round produces the same statistics -- only the timing varies).
     """
     measurements: Dict[str, Dict] = {}
     run_kwargs = dict(scale=scale, accesses=accesses, workload=workload,
@@ -93,16 +128,19 @@ def run_benchmark(
     for protocol in protocols:
         for engine in engines:
             _run_once(protocol, engine, **run_kwargs)
-            runs: List[Dict] = [
+            runs: List[tuple] = [
                 _run_once(protocol, engine, **run_kwargs) for _ in range(rounds)
             ]
-            best = max(runs, key=lambda r: r["accesses_per_sec"])
+            best, best_result = max(runs, key=lambda r: r[0]["accesses_per_sec"])
             measurements[f"{protocol}/{engine}"] = {
                 "accesses_per_sec": round(best["accesses_per_sec"], 1),
                 "seconds_best": round(best["seconds"], 4),
                 "executed": best["executed"],
                 "rounds": rounds,
             }
+            if store is not None:
+                _store_run(store, protocol, engine, best_result, best["seconds"],
+                           **run_kwargs)
     if trace_dir is not None:
         workload_label = f"trace:{trace_dir}"
     elif scenario is not None:
@@ -170,11 +208,19 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=list(ENGINES))
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help="JSON history file to append to ('-' to skip writing)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="also persist each measured run's statistics to "
+                             "this results store (docs/campaigns.md)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    store = None
+    if args.store is not None:
+        from .stats.store import ResultsStore
+
+        store = ResultsStore(args.store)
     record = run_benchmark(
         protocols=tuple(args.protocols),
         engines=tuple(args.engines),
@@ -184,6 +230,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workload=args.workload,
         trace_dir=args.trace_dir,
         scenario=args.scenario,
+        store=store,
     )
     print(json.dumps(record, indent=2))
     if args.output != "-":

@@ -10,6 +10,9 @@ Usage::
     python -m repro --scenario het-quad             # multi-program mix
     python -m repro bench                 # throughput microbenchmark
     python -m repro bench --accesses 100  # CI-sized smoke
+    python -m repro campaign run spec.json          # resumable batch runs
+    python -m repro campaign status spec.json
+    python -m repro report --store results/demo     # tables, no simulation
 
 The CLI is a thin wrapper over the public API (``SystemConfig`` /
 ``NumaSystem`` / ``Simulator``); it exists so that a single simulation can be
@@ -18,9 +21,15 @@ the three frontends (see ``docs/workloads.md``): the synthetic registry
 (``--workload``), a recorded trace directory (``--trace-dir``), or a scenario
 composition (``--scenario``, a built-in name or a JSON file);
 ``--record-trace DIR`` captures the selected workload to a trace directory
-before simulating it.  The ``bench`` subcommand (see :mod:`repro.bench`)
-runs the simulator-throughput microbenchmark and appends the result to
-``BENCH_throughput.json``.
+before simulating it.
+
+Three subcommands sit in front of the single-run flags: ``bench``
+(:mod:`repro.bench`) runs the simulator-throughput microbenchmark and
+appends to ``BENCH_throughput.json``; ``campaign``
+(:mod:`repro.experiments.campaign`) runs/inspects/cleans resumable
+experiment campaigns against a persistent results store; ``report``
+(:mod:`repro.experiments.report`) renders a populated store into
+Markdown/CSV tables without re-simulating.  See ``docs/campaigns.md``.
 """
 
 from __future__ import annotations
@@ -119,6 +128,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        from .experiments.campaign import main as campaign_main
+
+        return campaign_main(argv[1:])
+    if argv and argv[0] == "report":
+        from .experiments.report import main as report_main
+
+        return report_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     base = SystemConfig.dual_socket if args.sockets == 2 else SystemConfig.quad_socket

@@ -15,7 +15,12 @@ module              paper content
 ``broadcast_filter``  section VI-C -- TLB broadcast filtering
 ``directory_cost``  section III-B -- directory storage arithmetic
 ``runner``          run everything and print a consolidated report
+``campaign``        declarative, resumable sweep campaigns (JSON specs)
+``report``          render stored results to Markdown/CSV (no simulation)
 ==================  ==========================================================
+
+``campaign`` and ``report`` work through the persistent results store
+(:mod:`repro.stats.store`); see docs/campaigns.md for the workflow.
 """
 
 from .common import (

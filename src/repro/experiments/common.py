@@ -9,8 +9,14 @@ Every experiment module (one per table/figure) builds on the same pieces:
   few thousand accesses per core after pre-warming the DRAM caches
   (DESIGN.md section 5 explains why this preserves the normalised results).
 * :class:`ExperimentContext` -- builds systems/workloads, runs simulations
-  and memoises results so that e.g. Fig. 8 and Fig. 9 can reuse the runs
-  performed for Fig. 6.
+  (on either execution engine) and memoises results at two levels: an
+  in-process cache so that e.g. Fig. 8 and Fig. 9 reuse the runs performed
+  for Fig. 6 within one invocation, and -- when constructed with a
+  :class:`~repro.stats.store.ResultsStore` -- a persistent on-disk cache
+  shared across processes and invocations (docs/campaigns.md).  With
+  ``offline=True`` the context never simulates: a missing stored run raises
+  :class:`~repro.stats.store.MissingRunError` instead, which is how
+  ``repro report`` regenerates every figure without re-simulating.
 * small helpers for speedups and normalisation.
 """
 
@@ -21,6 +27,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..stats.counters import SimulationStats
 from ..stats.report import geometric_mean
+from ..stats.store import (
+    STORE_SCHEMA_VERSION,
+    MissingRunError,
+    ResultsStore,
+    StoredRun,
+    content_key,
+)
 from ..system.config import SystemConfig
 from ..system.numa_system import NumaSystem
 from ..system.simulator import SimulationResult, Simulator
@@ -44,7 +57,15 @@ DRAM_CACHE_DESIGNS: Tuple[str, ...] = ("snoopy", "full-dir", "c3d", "c3d-full-di
 
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """Knobs controlling experiment fidelity vs. runtime."""
+    """Knobs controlling experiment fidelity vs. runtime.
+
+    ``scale`` divides every cache capacity *and* workload working set by the
+    same factor (hit rates, and therefore normalised results, are preserved);
+    the access counts are per core, with ``warmup_accesses_per_thread``
+    excluded from measurement.  Settings objects are frozen and hashable:
+    they are part of both the in-process memoisation key and the persistent
+    results-store key, so two runs with equal settings are interchangeable.
+    """
 
     scale: int = 512
     accesses_per_thread: int = 3000
@@ -71,16 +92,23 @@ class ExperimentSettings:
 
     @property
     def total_cores(self) -> int:
+        """Total simulated cores (``num_sockets * cores_per_socket``)."""
         return self.num_sockets * self.cores_per_socket
 
     @property
     def trace_length(self) -> int:
+        """Accesses generated per core (measured + warm-up)."""
         return self.accesses_per_thread + self.warmup_accesses_per_thread
 
 
 @dataclass
 class RunRecord:
-    """One simulation run plus the derived quantities experiments report."""
+    """One simulation run plus the derived quantities experiments report.
+
+    Records come either from a fresh simulation or from the results store;
+    the two are indistinguishable to the figure modules (statistics
+    round-trip bit-identically).
+    """
 
     workload: str
     protocol: str
@@ -90,14 +118,17 @@ class RunRecord:
 
     @property
     def total_time_ns(self) -> float:
+        """Simulated completion time of the slowest core (the makespan)."""
         return self.result.total_time_ns
 
     @property
     def inter_socket_bytes(self) -> int:
+        """Bytes that crossed the inter-socket links during measurement."""
         return self.result.inter_socket_bytes
 
     @property
     def memory_accesses(self) -> int:
+        """Main-memory accesses (reads + writes, local + remote)."""
         return self.stats.memory_accesses
 
 
@@ -109,10 +140,39 @@ def speedup(baseline: RunRecord, other: RunRecord) -> float:
 
 
 class ExperimentContext:
-    """Builds, runs and memoises simulations for the experiment modules."""
+    """Builds, runs and memoises simulations for the experiment modules.
 
-    def __init__(self, settings: Optional[ExperimentSettings] = None) -> None:
+    Parameters
+    ----------
+    settings:
+        Fidelity knobs shared by every run of this context.
+    store:
+        Optional :class:`~repro.stats.store.ResultsStore`.  When given, every
+        run is first looked up by its content key (and persisted after
+        simulating), so results are shared across worker processes and
+        across invocations -- not just within this object's lifetime.
+    offline:
+        Never simulate; raise :class:`~repro.stats.store.MissingRunError`
+        for any run not already in ``store``.  Requires ``store``.
+    engine:
+        Execution engine (``"compiled"`` or ``"object"``); part of the store
+        key because engines are only *verified* bit-identical, not assumed.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[ExperimentSettings] = None,
+        *,
+        store: Optional[ResultsStore] = None,
+        offline: bool = False,
+        engine: str = "compiled",
+    ) -> None:
+        if offline and store is None:
+            raise ValueError("offline=True requires a results store")
         self.settings = settings or ExperimentSettings()
+        self.store = store
+        self.offline = offline
+        self.engine = engine
         self._cache: Dict[Tuple, RunRecord] = {}
 
     # ------------------------------------------------------------------
@@ -148,6 +208,55 @@ class ExperimentContext:
         )
 
     # ------------------------------------------------------------------
+    # Persistent-store keying
+    # ------------------------------------------------------------------
+
+    def store_payload(self, workload_name: str, protocol: str,
+                      config: SystemConfig) -> Dict:
+        """The outcome-determining payload hashed into a run's store key.
+
+        Everything that can change the simulation's statistics is included:
+        the complete machine configuration (capacities after scaling,
+        idealisations, broadcast filter, ...), the workload build parameters,
+        the measurement split, the engine and the store schema version.
+        Changing any of these invalidates the cached point; see
+        docs/campaigns.md for the field-by-field semantics.
+        """
+        settings = self.settings
+        return {
+            "kind": "context-run",
+            "schema": STORE_SCHEMA_VERSION,
+            "engine": self.engine,
+            "workload": workload_name,
+            "protocol": protocol,
+            "config": config.as_dict(),
+            "workload_params": {
+                "scale": settings.scale,
+                "accesses_per_thread": settings.trace_length,
+                "num_threads": settings.total_cores,
+                "seed": settings.seed,
+            },
+            "run_params": {
+                "warmup_accesses_per_core": settings.warmup_accesses_per_thread,
+                "prewarm": settings.prewarm,
+            },
+        }
+
+    def _record_from_stored(self, workload_name: str, protocol: str,
+                            config: SystemConfig, stored: StoredRun) -> RunRecord:
+        """Materialise a :class:`RunRecord` from a persisted run."""
+        result = SimulationResult(
+            stats=stored.stats,
+            total_time_ns=stored.total_time_ns,
+            inter_socket_bytes=stored.inter_socket_bytes,
+            accesses_executed=stored.accesses_executed,
+        )
+        return RunRecord(
+            workload=workload_name, protocol=protocol,
+            stats=stored.stats, result=result, config=config,
+        )
+
+    # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
 
@@ -155,19 +264,37 @@ class ExperimentContext:
             cache_key_extra: Tuple = ()) -> RunRecord:
         """Run one (workload, design) simulation, memoising the result.
 
-        Runs with an explicit ``config`` are memoised only when the caller
-        provides a distinguishing ``cache_key_extra`` (otherwise two different
-        ad-hoc configurations could collide on the same key).
+        Lookup order: the in-process cache, then the results store (if any),
+        then a fresh simulation (which is persisted to the store).  In-process
+        memoisation of runs with an explicit ``config`` requires a
+        distinguishing ``cache_key_extra`` (otherwise two different ad-hoc
+        configurations could collide on the same key); the *store* key hashes
+        the full configuration content, so it needs no such discriminator.
         """
         key = (workload_name, protocol, self.settings, cache_key_extra)
-        cacheable = config is None or bool(cache_key_extra)
-        if cacheable and key in self._cache:
+        memoisable = config is None or bool(cache_key_extra)
+        if memoisable and key in self._cache:
             return self._cache[key]
 
         cfg = config if config is not None else self.make_config(protocol)
+
+        store_key = None
+        payload = None
+        if self.store is not None:
+            payload = self.store_payload(workload_name, protocol, cfg)
+            store_key = content_key(payload)
+            stored = self.store.get(store_key)
+            if stored is not None:
+                record = self._record_from_stored(workload_name, protocol, cfg, stored)
+                if memoisable:
+                    self._cache[key] = record
+                return record
+        if self.offline:
+            raise MissingRunError(store_key or "", payload)
+
         system = NumaSystem(cfg)
         workload = self.make_workload(workload_name)
-        simulator = Simulator(system, workload)
+        simulator = Simulator(system, workload, engine=self.engine)
         result = simulator.run(
             warmup_accesses_per_core=self.settings.warmup_accesses_per_thread,
             prewarm=self.settings.prewarm,
@@ -176,7 +303,16 @@ class ExperimentContext:
             workload=workload_name, protocol=protocol,
             stats=result.stats, result=result, config=cfg,
         )
-        if cacheable:
+        if self.store is not None:
+            self.store.put(StoredRun(
+                key=store_key,
+                params=payload,
+                stats=result.stats,
+                total_time_ns=result.total_time_ns,
+                inter_socket_bytes=result.inter_socket_bytes,
+                accesses_executed=result.accesses_executed,
+            ))
+        if memoisable:
             self._cache[key] = record
         return record
 

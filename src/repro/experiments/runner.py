@@ -2,21 +2,32 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # default settings
-    python -m repro.experiments.runner --quick    # CI-sized runs
-    python -m repro.experiments.runner --full     # EXPERIMENTS.md settings
-    python -m repro.experiments.runner --jobs 4   # fan figures out over workers
+    python -m repro.experiments.runner                  # default settings
+    python -m repro.experiments.runner --quick          # CI-sized runs
+    python -m repro.experiments.runner --full           # EXPERIMENTS.md settings
+    python -m repro.experiments.runner --jobs 4         # fan out over workers
+    python -m repro.experiments.runner --store results  # persist every run
+    python -m repro.experiments.runner --store results --jobs 4
 
 Sequentially, the runner shares one
 :class:`~repro.experiments.common.ExperimentContext` across experiments so
 that e.g. the Fig. 6 runs are reused by Fig. 8/9.  With ``--jobs N`` the
-figures are fanned out over a ``multiprocessing`` pool instead (each worker
-builds its own context, so the memoised-run sharing is traded for
-parallelism).
+figures are fanned out over a ``multiprocessing`` pool; each worker builds
+its own context, so *in-process* memoisation is per-worker -- but with
+``--store DIR`` every worker reads and writes the same persistent
+:class:`~repro.stats.store.ResultsStore`, which restores cross-figure run
+sharing across processes (and across invocations: a second run of the same
+command is pure cache hits).  Without ``--store``, ``--jobs N`` still trades
+memoised-run sharing for parallelism, exactly as before.
+
+Once a store is populated, ``repro report --store DIR`` regenerates every
+figure table from it without re-simulating, and ``repro campaign`` runs
+declarative sweep grids against the same store (docs/campaigns.md).
 
 The module also provides the generic sweep machinery the figures are built
 from: :func:`run_sweep` executes a list of :class:`SweepPoint` simulations --
-optionally in parallel worker processes -- and :func:`merge_stats` folds the
+optionally in parallel worker processes, optionally through a results store
+that skips already-completed points -- and :func:`merge_stats` folds the
 per-point :class:`~repro.stats.counters.SimulationStats` into one aggregate.
 """
 
@@ -26,7 +37,7 @@ import argparse
 import multiprocessing
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import (
@@ -43,6 +54,7 @@ from . import (
     table1,
 )
 from ..stats.counters import SimulationStats
+from ..stats.store import STORE_SCHEMA_VERSION, ResultsStore, StoredRun, content_key
 from .common import ExperimentContext, ExperimentSettings
 
 __all__ = [
@@ -51,6 +63,8 @@ __all__ = [
     "main",
     "SweepPoint",
     "SweepResult",
+    "sweep_point_payload",
+    "sweep_point_key",
     "run_sweep",
     "merge_stats",
 ]
@@ -100,7 +114,31 @@ class SweepResult:
     wall_clock_s: float = 0.0
 
 
-def _run_sweep_point(point: SweepPoint) -> SweepResult:
+def sweep_point_payload(point: SweepPoint, engine: str = "compiled") -> Dict:
+    """The outcome-determining payload hashed into a sweep point's store key.
+
+    Every outcome-shaping :class:`SweepPoint` field participates, plus the
+    engine and the store schema version.  When ``trace_dir``/``scenario``
+    is set the ``workload`` field is ignored by the workload builder, so it
+    is normalised out of the payload -- two callers selecting the same
+    scenario with different placeholder workloads share one cached point.
+    Note that ``trace_dir``/``scenario`` are keyed by *path*, not file
+    content -- editing a trace in place requires ``repro campaign clean``
+    (see docs/campaigns.md).
+    """
+    payload = asdict(point)
+    if point.trace_dir is not None or point.scenario is not None:
+        payload["workload"] = None
+    payload.update(kind="sweep-point", schema=STORE_SCHEMA_VERSION, engine=engine)
+    return payload
+
+
+def sweep_point_key(point: SweepPoint, engine: str = "compiled") -> str:
+    """Content key of one sweep point (see :func:`sweep_point_payload`)."""
+    return content_key(sweep_point_payload(point, engine))
+
+
+def _run_sweep_point(point: SweepPoint, engine: str = "compiled") -> SweepResult:
     """Worker entry point: build and run one simulation."""
     # Imports kept local so forked/spawned workers only pay for what they use.
     from ..system.config import SystemConfig
@@ -128,7 +166,7 @@ def _run_sweep_point(point: SweepPoint) -> SweepResult:
         seed=point.seed,
     )
     started = time.time()
-    result = Simulator(system, workload).run(
+    result = Simulator(system, workload, engine=engine).run(
         warmup_accesses_per_core=point.warmup_accesses_per_thread,
         prewarm=point.prewarm,
     )
@@ -142,20 +180,85 @@ def _run_sweep_point(point: SweepPoint) -> SweepResult:
     )
 
 
+def _run_indexed_point(task: Tuple[int, SweepPoint, str]) -> Tuple[int, SweepResult]:
+    """Pool entry point carrying the input index for order restoration."""
+    index, point, engine = task
+    return index, _run_sweep_point(point, engine)
+
+
+def _stored_from_sweep(result: SweepResult, key: str, engine: str) -> StoredRun:
+    return StoredRun(
+        key=key,
+        params=sweep_point_payload(result.point, engine),
+        stats=result.stats,
+        total_time_ns=result.total_time_ns,
+        inter_socket_bytes=result.inter_socket_bytes,
+        accesses_executed=result.accesses_executed,
+        wall_clock_s=result.wall_clock_s,
+    )
+
+
+def _sweep_from_stored(point: SweepPoint, stored: StoredRun) -> SweepResult:
+    return SweepResult(
+        point=point,
+        stats=stored.stats,
+        total_time_ns=stored.total_time_ns,
+        inter_socket_bytes=stored.inter_socket_bytes,
+        accesses_executed=stored.accesses_executed,
+        wall_clock_s=stored.wall_clock_s,
+    )
+
+
 def run_sweep(
-    points: Sequence[SweepPoint], *, jobs: Optional[int] = None
+    points: Sequence[SweepPoint],
+    *,
+    jobs: Optional[int] = None,
+    store: Optional[ResultsStore] = None,
+    engine: str = "compiled",
 ) -> List[SweepResult]:
     """Run a list of sweep points, optionally over a multiprocessing pool.
 
     ``jobs=None`` or ``jobs<=1`` runs in-process (deterministic order, no
     pickling); otherwise up to ``jobs`` worker processes execute points
     concurrently.  Results are always returned in input order.
+
+    With a ``store``, points whose content key is already persisted are
+    loaded instead of simulated, and every freshly simulated point is
+    appended to the store *as soon as it completes* -- interrupting a sweep
+    loses at most the in-flight points, and re-running it resumes from the
+    completed ones (docs/campaigns.md walks through this).
     """
     points = list(points)
-    if jobs is None or jobs <= 1 or len(points) <= 1:
-        return [_run_sweep_point(point) for point in points]
-    with multiprocessing.Pool(processes=min(jobs, len(points))) as pool:
-        return pool.map(_run_sweep_point, points)
+    results: List[Optional[SweepResult]] = [None] * len(points)
+
+    pending: List[int] = []
+    if store is not None:
+        for index, point in enumerate(points):
+            stored = store.get(sweep_point_key(point, engine))
+            if stored is not None:
+                results[index] = _sweep_from_stored(point, stored)
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(points)))
+
+    def finish(index: int, result: SweepResult) -> None:
+        results[index] = result
+        if store is not None:
+            key = sweep_point_key(points[index], engine)
+            store.put(_stored_from_sweep(result, key, engine))
+
+    if jobs is None or jobs <= 1 or len(pending) <= 1:
+        for index in pending:
+            finish(index, _run_sweep_point(points[index], engine))
+    else:
+        tasks = [(index, points[index], engine) for index in pending]
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            # Unordered so completed points persist immediately; the carried
+            # index restores input order.
+            for index, result in pool.imap_unordered(_run_indexed_point, tasks):
+                finish(index, result)
+    return results  # type: ignore[return-value]  # every slot is filled above
 
 
 def merge_stats(results: Sequence[SweepResult]) -> SimulationStats:
@@ -172,8 +275,8 @@ def _format_directory_cost(table) -> str:
 
 #: The single experiment registry (canonical order):
 #: name -> (runner(context), formatter(result), needs dual-socket context).
-#: Both the sequential and the parallel paths iterate this registry, so a new
-#: figure is added in exactly one place.
+#: Both the sequential and the parallel paths iterate this registry -- and so
+#: does ``repro report`` -- so a new figure is added in exactly one place.
 _EXPERIMENTS: Dict[str, Tuple[Callable, Callable, bool]] = {
     "table1": (table1.run_table1, table1.format_table1, False),
     "fig2": (fig2.run_fig2, fig2.format_fig2, False),
@@ -209,20 +312,29 @@ def run_all(
     *,
     include_sensitivity: bool = True,
     stream=sys.stdout,
+    store: Optional[ResultsStore] = None,
+    names: Optional[Sequence[str]] = None,
+    engine: str = "compiled",
 ) -> Dict[str, object]:
     """Run all experiments sequentially; returns {experiment-name: result}.
 
     One context is shared across figures (memoised runs are reused, e.g. the
     Fig. 6 simulations by Figs. 8/9) and the returned values are the raw
     per-figure result objects -- unlike :func:`run_all_parallel`, which
-    returns formatted report text.
+    returns formatted report text.  With a ``store``, every simulation is
+    read through / persisted to it, so a repeated invocation is pure cache
+    hits and ``repro report`` can later rebuild the tables offline.
+    ``names`` restricts the run to a subset of the registry (campaigns use
+    this for their ``figures`` list).
     """
     settings = settings or ExperimentSettings()
-    context = ExperimentContext(settings)
-    dual_context = ExperimentContext(settings.dual_socket())
+    context = ExperimentContext(settings, store=store, engine=engine)
+    dual_context = ExperimentContext(
+        settings.dual_socket(), store=store, engine=engine
+    )
     results: Dict[str, object] = {}
 
-    for name in _experiment_names(include_sensitivity):
+    for name in names if names is not None else _experiment_names(include_sensitivity):
         runner, formatter, dual = _EXPERIMENTS[name]
         start = time.time()
         result = runner(dual_context if dual else context)
@@ -235,11 +347,16 @@ def run_all(
     return results
 
 
-def _run_named_experiment(task: Tuple[str, ExperimentSettings]) -> Tuple[str, str, float]:
+def _run_named_experiment(
+    task: Tuple[str, ExperimentSettings, Optional[str]]
+) -> Tuple[str, str, float]:
     """Worker entry point: run one named experiment and return its report text."""
-    name, settings = task
+    name, settings, store_path = task
+    store = ResultsStore(store_path) if store_path is not None else None
     runner, formatter, dual = _EXPERIMENTS[name]
-    context = ExperimentContext(settings.dual_socket() if dual else settings)
+    context = ExperimentContext(
+        settings.dual_socket() if dual else settings, store=store
+    )
     start = time.time()
     result = runner(context)
     return name, formatter(result), time.time() - start
@@ -251,20 +368,31 @@ def run_all_parallel(
     jobs: int = 2,
     include_sensitivity: bool = True,
     stream=sys.stdout,
+    store: Optional[ResultsStore] = None,
 ) -> Dict[str, str]:
     """Fan the experiments out over ``jobs`` worker processes.
 
-    Each worker builds its own :class:`ExperimentContext` (so cross-figure
-    run sharing is traded for parallelism).  Because the per-figure result
-    objects are not guaranteed picklable, the workers return *formatted
-    report text*: the return value is ``{experiment-name: report-text}``,
-    not the result objects of :func:`run_all` -- use ``jobs=1`` /
-    :func:`run_all` when structured results are needed.
+    Each worker builds its own :class:`ExperimentContext`, so *in-process*
+    run sharing is per-worker; pass a ``store`` to share runs across workers
+    through the persistent results store instead (workers re-open it by
+    path, and duplicated concurrent runs of the same point are harmless --
+    identical keys store bit-identical records, last write wins).  Because
+    the per-figure result objects are not guaranteed picklable, the workers
+    return *formatted report text*: the return value is
+    ``{experiment-name: report-text}``, not the result objects of
+    :func:`run_all` -- use ``jobs=1`` / :func:`run_all` when structured
+    results are needed.
     """
     settings = settings or ExperimentSettings()
-    tasks = [(name, settings) for name in _experiment_names(include_sensitivity)]
+    store_path = str(store.directory) if store is not None else None
+    tasks = [
+        (name, settings, store_path)
+        for name in _experiment_names(include_sensitivity)
+    ]
     with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
         results = pool.map(_run_named_experiment, tasks)
+    if store is not None:
+        store.reload()  # pick up the records the workers appended
     reports: Dict[str, str] = {}
     for name, report, elapsed in results:
         reports[name] = report
@@ -286,6 +414,12 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         help="worker processes for the figure sweeps (1 = sequential, shared "
              "context, structured results; >1 returns formatted report text)",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist every simulation to this results-store directory and "
+             "reuse any already stored (shared across --jobs workers and "
+             "across invocations; see docs/campaigns.md)",
+    )
     args = parser.parse_args(argv)
     if args.quick:
         settings = ExperimentSettings.quick()
@@ -293,11 +427,15 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         settings = ExperimentSettings.full()
     else:
         settings = ExperimentSettings()
+    store = ResultsStore(args.store) if args.store is not None else None
     if args.jobs > 1:
         return run_all_parallel(
-            settings, jobs=args.jobs, include_sensitivity=not args.no_sensitivity
+            settings, jobs=args.jobs,
+            include_sensitivity=not args.no_sensitivity, store=store,
         )
-    return run_all(settings, include_sensitivity=not args.no_sensitivity)
+    return run_all(
+        settings, include_sensitivity=not args.no_sensitivity, store=store
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

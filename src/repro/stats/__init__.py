@@ -1,9 +1,36 @@
-"""Statistics: counters, AMAT decomposition, report formatting."""
+"""Statistics: counters, AMAT decomposition, report formatting, persistence.
+
+``counters`` collects every event the simulated machine reports;
+``amat`` decomposes them into the paper's average-memory-access-time
+argument; ``report`` renders rows/series as text or Markdown tables;
+``export`` writes them as JSON/CSV; ``store`` is the persistent
+append-only results store behind resumable campaigns (docs/campaigns.md).
+"""
 
 from .amat import AMATBreakdown, amat_breakdown, estimate_amat
 from .counters import LatencyAccumulator, SimulationStats
-from .export import export_json, export_series_csv, flatten_series, load_json
-from .report import format_series, format_table, geometric_mean, normalise
+from .export import (
+    export_json,
+    export_series_csv,
+    export_table_csv,
+    flatten_series,
+    load_json,
+)
+from .report import (
+    format_markdown_table,
+    format_series,
+    format_table,
+    geometric_mean,
+    normalise,
+    series_to_markdown,
+)
+from .store import (
+    STORE_SCHEMA_VERSION,
+    MissingRunError,
+    ResultsStore,
+    StoredRun,
+    content_key,
+)
 
 __all__ = [
     "SimulationStats",
@@ -13,10 +40,18 @@ __all__ = [
     "estimate_amat",
     "format_table",
     "format_series",
+    "format_markdown_table",
+    "series_to_markdown",
     "geometric_mean",
     "normalise",
     "export_json",
     "load_json",
     "export_series_csv",
+    "export_table_csv",
     "flatten_series",
+    "ResultsStore",
+    "StoredRun",
+    "MissingRunError",
+    "content_key",
+    "STORE_SCHEMA_VERSION",
 ]

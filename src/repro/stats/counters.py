@@ -43,7 +43,19 @@ class LatencyAccumulator:
 
     @property
     def mean(self) -> float:
+        """Mean of the accumulated values (0.0 when nothing was added)."""
         return self.total / self.count if self.count else 0.0
+
+    def to_json_dict(self) -> Dict[str, float]:
+        """Serialise to a JSON-safe dictionary (exact float round-trip)."""
+        return {"total": self.total, "count": self.count, "maximum": self.maximum}
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, float]) -> "LatencyAccumulator":
+        """Rebuild an accumulator written by :meth:`to_json_dict`."""
+        return cls(
+            total=payload["total"], count=payload["count"], maximum=payload["maximum"]
+        )
 
 
 @dataclass
@@ -199,6 +211,47 @@ class SimulationStats:
         for key, value in other.extra.items():
             self.extra[key] += value
         return self
+
+    #: The latency-distribution fields (each a :class:`LatencyAccumulator`).
+    _LATENCY_FIELDS = ("read_latency", "write_latency", "llc_miss_latency")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Serialise every counter to a JSON-safe dictionary.
+
+        Unlike :meth:`as_dict` (a *lossy* flat view for reports), this is a
+        complete round-trip format: :meth:`from_json_dict` rebuilds an object
+        whose counters -- including the latency distributions, the per-core
+        completion times and the free-form ``extra`` bag -- are bit-identical
+        to the original.  JSON floats round-trip exactly (``repr`` is the
+        shortest exact representation), so statistics loaded from the
+        results store compare equal to freshly simulated ones.
+        """
+        payload: Dict[str, object] = {
+            name: getattr(self, name) for name in self._MERGE_SUM_FIELDS
+        }
+        for name in self._LATENCY_FIELDS:
+            payload[name] = getattr(self, name).to_json_dict()
+        # JSON object keys must be strings; core ids are restored as ints.
+        payload["core_finish_ns"] = {
+            str(core_id): finish for core_id, finish in self.core_finish_ns.items()
+        }
+        payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "SimulationStats":
+        """Rebuild a :class:`SimulationStats` written by :meth:`to_json_dict`."""
+        stats = cls()
+        for name in cls._MERGE_SUM_FIELDS:
+            setattr(stats, name, payload[name])
+        for name in cls._LATENCY_FIELDS:
+            setattr(stats, name, LatencyAccumulator.from_json_dict(payload[name]))
+        stats.core_finish_ns = {
+            int(core_id): finish
+            for core_id, finish in payload["core_finish_ns"].items()
+        }
+        stats.extra.update(payload["extra"])
+        return stats
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten the scalar counters into a dictionary (for reports/CSV)."""

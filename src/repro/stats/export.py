@@ -13,7 +13,13 @@ import json
 from pathlib import Path
 from typing import Dict, Mapping, Union
 
-__all__ = ["export_json", "load_json", "export_series_csv", "flatten_series"]
+__all__ = [
+    "export_json",
+    "load_json",
+    "export_series_csv",
+    "export_table_csv",
+    "flatten_series",
+]
 
 PathLike = Union[str, Path]
 
@@ -42,6 +48,20 @@ def flatten_series(series: Mapping[str, Mapping[str, float]]) -> list:
         record.update(columns)
         flattened.append(record)
     return flattened
+
+
+def export_table_csv(
+    table: Mapping[str, float], path: PathLike, *, value_header: str = "value"
+) -> Path:
+    """Write a flat ``{name: value}`` table to a two-column CSV file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["name", value_header])
+        for name, value in table.items():
+            writer.writerow([name, value])
+    return path
 
 
 def export_series_csv(series: Mapping[str, Mapping[str, float]], path: PathLike) -> Path:

@@ -1,15 +1,22 @@
-"""Plain-text report formatting used by the experiments and examples.
+"""Report formatting used by the experiments, ``repro report`` and examples.
 
 The experiment harness prints the same rows/series the paper reports; these
-helpers keep that formatting in one place (simple fixed-width tables, no
-external dependencies).
+helpers keep that formatting in one place (simple fixed-width text tables
+plus GitHub-flavoured Markdown equivalents, no external dependencies).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "geometric_mean", "normalise"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_markdown_table",
+    "series_to_markdown",
+    "geometric_mean",
+    "normalise",
+]
 
 
 def format_table(
@@ -61,6 +68,48 @@ def format_series(series: Mapping[str, Mapping[str, float]], *, title: Optional[
     for row_name, values in series.items():
         rows.append([row_name] + [values.get(column, float("nan")) for column in columns])
     return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a GitHub-flavoured Markdown table (used by ``repro report``)."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell).replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(render(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def series_to_markdown(
+    series: Mapping[str, Mapping[str, float]],
+    *,
+    row_header: str = "workload",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a {row -> {column -> value}} mapping as a Markdown table."""
+    columns: List[str] = []
+    for values in series.values():
+        for column in values:
+            if column not in columns:
+                columns.append(column)
+    rows = [
+        [row_name] + [values.get(column, float("nan")) for column in columns]
+        for row_name, values in series.items()
+    ]
+    return format_markdown_table(
+        [row_header] + columns, rows, float_format=float_format
+    )
 
 
 def geometric_mean(values: Iterable[float]) -> float:

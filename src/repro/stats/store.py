@@ -1,0 +1,237 @@
+"""Persistent, append-only store of simulation results (the campaign cache).
+
+Every completed simulation -- a :class:`~repro.experiments.runner.SweepPoint`
+of a campaign grid or an :class:`~repro.experiments.common.ExperimentContext`
+run behind a figure module -- can be written to a :class:`ResultsStore`: one
+JSON record per line in ``<store-dir>/results.jsonl``, keyed by a content
+hash of everything that determines the simulation's outcome (workload,
+machine configuration, engine, settings, schema version).  Because records
+are appended as soon as each point completes:
+
+* re-running a campaign **skips** every point already in the store,
+* a campaign interrupted mid-run **resumes** from the completed points
+  (at worst the in-flight point is lost -- a torn trailing line is ignored),
+* and independent invocations/processes **share** results through the file.
+
+Statistics round-trip bit-identically (``SimulationStats.to_json_dict``),
+so results loaded from the store compare equal to freshly simulated ones.
+``docs/campaigns.md`` documents the record format and the hash-key
+semantics (exactly what invalidates a cached point).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+from .counters import SimulationStats
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "MissingRunError",
+    "StoredRun",
+    "ResultsStore",
+    "content_key",
+]
+
+PathLike = Union[str, Path]
+
+#: Bumped whenever the simulator's semantics change in a way that makes old
+#: stored results incomparable with fresh ones (every key embeds it, so a
+#: bump invalidates the whole store without touching any file).
+STORE_SCHEMA_VERSION = 1
+
+#: File name of the append-only record log inside a store directory.
+RESULTS_FILE = "results.jsonl"
+
+
+class MissingRunError(KeyError):
+    """An offline (store-only) lookup found no record for the requested run."""
+
+    def __init__(self, key: str, payload: Optional[Mapping] = None) -> None:
+        self.key = key
+        self.payload = dict(payload) if payload is not None else None
+        described = ""
+        if self.payload:
+            interesting = {
+                name: self.payload[name]
+                for name in ("kind", "workload", "protocol", "scenario", "trace_dir")
+                if self.payload.get(name) is not None
+            }
+            described = f" ({interesting})"
+        super().__init__(
+            f"no stored result for key {key[:12]}...{described}; "
+            "run the campaign first (repro campaign run) or drop offline mode"
+        )
+
+
+def content_key(payload: Mapping) -> str:
+    """Hash a JSON-serialisable payload into a stable hex content key.
+
+    The payload is canonicalised (sorted keys, no whitespace) before hashing
+    so logically identical payloads -- regardless of insertion order -- map
+    to the same key.  Floats use ``repr`` (exact shortest form), so keys are
+    stable across processes and Python invocations.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoredRun:
+    """One completed simulation as persisted in the results store."""
+
+    key: str                       #: content hash of ``params``
+    params: Dict                   #: the hashed, outcome-determining payload
+    stats: SimulationStats         #: full counters (bit-identical round-trip)
+    total_time_ns: float
+    inter_socket_bytes: int
+    accesses_executed: int
+    wall_clock_s: float = 0.0
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "key": self.key,
+            "params": self.params,
+            "stats": self.stats.to_json_dict(),
+            "total_time_ns": self.total_time_ns,
+            "inter_socket_bytes": self.inter_socket_bytes,
+            "accesses_executed": self.accesses_executed,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping) -> "StoredRun":
+        return cls(
+            key=payload["key"],
+            params=dict(payload["params"]),
+            stats=SimulationStats.from_json_dict(payload["stats"]),
+            total_time_ns=payload["total_time_ns"],
+            inter_socket_bytes=payload["inter_socket_bytes"],
+            accesses_executed=payload["accesses_executed"],
+            wall_clock_s=payload.get("wall_clock_s", 0.0),
+        )
+
+
+class ResultsStore:
+    """Append-only JSONL store of :class:`StoredRun` records.
+
+    ``ResultsStore(path)`` opens (or lazily creates) the store directory;
+    records live in ``path/results.jsonl``.  Lookups are served from an
+    in-memory index built on first access; :meth:`put` appends one line and
+    flushes immediately, so a concurrent reader (or a crashed writer's next
+    invocation) sees every completed record.  Duplicate keys are tolerated
+    -- the last record wins, and because keys hash the complete simulation
+    input, duplicates are bit-identical by construction.
+
+    Appends open the file in ``O_APPEND`` mode per record, so several worker
+    processes can write one store concurrently (single-line appends are
+    atomic on POSIX for these record sizes); a torn trailing line from a
+    killed writer is skipped on load.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.directory = Path(path)
+        self._index: Optional[Dict[str, StoredRun]] = None
+        #: Lookup accounting for cache-hit reporting (`repro campaign`/CI).
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    @property
+    def results_path(self) -> Path:
+        """The JSONL record log backing this store."""
+        return self.directory / RESULTS_FILE
+
+    def _load(self) -> Dict[str, StoredRun]:
+        if self._index is None:
+            self._index = {}
+            if self.results_path.exists():
+                with self.results_path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            record = StoredRun.from_json_dict(json.loads(line))
+                        except (ValueError, KeyError, TypeError):
+                            # A torn line from an interrupted writer (or hand
+                            # editing); the point simply reruns.
+                            continue
+                        self._index[record.key] = record
+        return self._index
+
+    def reload(self) -> None:
+        """Drop the in-memory index; the next lookup re-reads the file."""
+        self._index = None
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[StoredRun]:
+        """Return the stored record for ``key``, counting hits and misses."""
+        record = self._load().get(key)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def keys(self) -> List[str]:
+        return list(self._load())
+
+    def records(self) -> Iterator[StoredRun]:
+        """Iterate over the stored records (last-wins deduplicated)."""
+        return iter(self._load().values())
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def put(self, record: StoredRun) -> StoredRun:
+        """Append ``record`` to the log and index it (durable immediately)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_json_dict(), separators=(",", ":"))
+        if self._ends_mid_line():
+            # A previous writer died mid-append; start a fresh line so the
+            # torn fragment stays isolated (the loader skips it).
+            line = "\n" + line
+        with self.results_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._load()[record.key] = record
+        return record
+
+    def _ends_mid_line(self) -> bool:
+        """True when the log exists, is non-empty and lacks a final newline."""
+        try:
+            with self.results_path.open("rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False
+
+    def clean(self) -> int:
+        """Delete every stored record; returns how many were removed."""
+        removed = len(self._load())
+        if self.results_path.exists():
+            self.results_path.unlink()
+        self._index = {}
+        self.hits = 0
+        self.misses = 0
+        return removed

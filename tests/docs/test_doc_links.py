@@ -27,7 +27,21 @@ def test_checker_scans_readme_and_all_docs():
     checker = _load_checker()
     documents = {d.name for d in checker.default_documents(REPO_ROOT)}
     assert "README.md" in documents
-    assert {"workloads.md", "experiments.md", "performance.md"} <= documents
+    assert {
+        "workloads.md", "experiments.md", "performance.md",
+        "campaigns.md", "architecture.md",
+    } <= documents
+
+
+def test_required_docs_all_present():
+    checker = _load_checker()
+    assert checker.missing_required_docs(REPO_ROOT) == []
+    assert {"docs/campaigns.md", "docs/architecture.md"} <= set(checker.REQUIRED_DOCS)
+
+
+def test_missing_required_doc_fails(tmp_path):
+    checker = _load_checker()
+    assert "README.md" in checker.missing_required_docs(tmp_path)
 
 
 def test_checker_flags_broken_links(tmp_path):

@@ -1,0 +1,88 @@
+"""System test: an interrupted campaign resumes and stays bit-identical.
+
+The acceptance scenario of the campaign subsystem: run a quick campaign,
+kill it mid-run (here: persist only a prefix of its points, plus a torn
+trailing line as a writer killed mid-append would leave), re-invoke it, and
+require that (a) only the remaining points execute and (b) the merged
+statistics are bit-identical to a never-interrupted cold run.
+"""
+
+import io
+
+from repro.experiments.campaign import (
+    CampaignSpec,
+    campaign_status,
+    merged_point_stats,
+    run_campaign,
+)
+from repro.experiments.runner import run_sweep
+from repro.stats.store import ResultsStore
+
+SPEC = CampaignSpec.from_dict({
+    "name": "resume-check",
+    "settings": {
+        "scale": 4096,
+        "accesses_per_thread": 150,
+        "warmup_accesses_per_thread": 50,
+        "num_sockets": 2,
+        "cores_per_socket": 1,
+    },
+    "sweeps": [
+        {
+            "protocols": ["baseline", "c3d"],
+            "workloads": ["facesim", "streamcluster"],
+            "topologies": [{"sockets": 2, "cores_per_socket": 1}],
+        }
+    ],
+})
+
+
+def test_interrupted_campaign_resumes_bit_identically(tmp_path):
+    points = SPEC.expand()
+    assert len(points) == 4
+
+    # --- The reference: one uninterrupted cold run. -----------------------
+    cold_store = ResultsStore(tmp_path / "cold")
+    cold = run_campaign(SPEC, cold_store, stream=io.StringIO())
+    assert (cold.executed_points, cold.cached_points) == (4, 0)
+    cold_merged = merged_point_stats(SPEC, cold_store)
+
+    # --- The victim: crashes after completing 2 of 4 points. --------------
+    crash_store = ResultsStore(tmp_path / "crashed")
+    run_sweep(points[:2], store=crash_store)
+    # A writer killed mid-append leaves a torn trailing line; the in-flight
+    # third point is lost but must not poison the resume.
+    with crash_store.results_path.open("a", encoding="utf-8") as handle:
+        handle.write('{"key": "torn-by-cr')
+
+    resumed_store = ResultsStore(tmp_path / "crashed")   # fresh invocation
+    status = campaign_status(SPEC, resumed_store)
+    assert (status["points_done"], status["points_total"]) == (2, 4)
+
+    resumed = run_campaign(SPEC, resumed_store, stream=io.StringIO())
+    # Only the remaining points executed; the completed ones were cache hits.
+    assert (resumed.executed_points, resumed.cached_points) == (2, 2)
+
+    # --- Bit-identical aggregate, fold order independent of history. ------
+    resumed_merged = merged_point_stats(SPEC, ResultsStore(tmp_path / "crashed"))
+    assert resumed_merged.to_json_dict() == cold_merged.to_json_dict()
+
+    # Per-point statistics match too (not just the aggregate).
+    for cold_result, resumed_result in zip(cold.results, resumed.results):
+        assert cold_result.point == resumed_result.point
+        assert (cold_result.stats.to_json_dict()
+                == resumed_result.stats.to_json_dict())
+        assert cold_result.inter_socket_bytes == resumed_result.inter_socket_bytes
+
+
+def test_parallel_resume_matches_sequential(tmp_path):
+    points = SPEC.expand()
+    sequential_store = ResultsStore(tmp_path / "seq")
+    run_sweep(points, store=sequential_store)
+
+    parallel_store = ResultsStore(tmp_path / "par")
+    run_sweep(points[:1], store=parallel_store)          # partial prefix
+    results = run_sweep(points, jobs=2, store=ResultsStore(tmp_path / "par"))
+    assert [r.point for r in results] == points
+    for seq, par in zip(run_sweep(points, store=sequential_store), results):
+        assert seq.stats.to_json_dict() == par.stats.to_json_dict()

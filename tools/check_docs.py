@@ -30,6 +30,17 @@ _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
 _EXTERNAL = ("http://", "https://", "mailto:")
 
+#: Documentation pages that must exist (the docs/*.md glob would silently
+#: shrink if one were deleted or renamed; this list pins the expected set).
+REQUIRED_DOCS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/campaigns.md",
+    "docs/experiments.md",
+    "docs/performance.md",
+    "docs/workloads.md",
+)
+
 
 def repo_root() -> Path:
     """The repository root (parent of this script's directory)."""
@@ -41,6 +52,11 @@ def default_documents(root: Path) -> List[Path]:
     documents = [root / "README.md"]
     documents.extend(sorted((root / "docs").glob("*.md")))
     return [d for d in documents if d.is_file()]
+
+
+def missing_required_docs(root: Path) -> List[str]:
+    """Required pages (``REQUIRED_DOCS``) absent from the working tree."""
+    return [rel for rel in REQUIRED_DOCS if not (root / rel).is_file()]
 
 
 def broken_links(document: Path) -> Iterable[Tuple[int, str]]:
@@ -60,6 +76,13 @@ def broken_links(document: Path) -> Iterable[Tuple[int, str]]:
 
 def main(argv: List[str]) -> int:
     root = repo_root()
+    if not argv:
+        missing = missing_required_docs(root)
+        if missing:
+            print(f"{len(missing)} required documentation page(s) missing:")
+            for rel in missing:
+                print(f"  {rel}")
+            return 1
     documents = [Path(arg).resolve() for arg in argv] or default_documents(root)
     failures: List[str] = []
     checked = 0

@@ -13,6 +13,7 @@ Usage::
     python -m repro bench
     python -m repro bench --accesses 2000 --rounds 5 --output BENCH_throughput.json
     python -m repro bench --store results/demo   # also persist the runs
+    python -m repro bench --sampled              # exact-vs-sampled wall clock
 
 With ``--store DIR`` each measured simulation's statistics are additionally
 written to the persistent results store under its sweep-point content key
@@ -50,6 +51,7 @@ def _run_once(
     workload: str,
     trace_dir: Optional[str] = None,
     scenario: Optional[str] = None,
+    sample_plan=None,
 ) -> Dict:
     config = SystemConfig.quad_socket(protocol=protocol).scaled(scale)
     system = NumaSystem(config)
@@ -62,7 +64,7 @@ def _run_once(
         scale=scale,
         accesses_per_thread=accesses,
     )
-    simulator = Simulator(system, wl, engine=engine)
+    simulator = Simulator(system, wl, engine=engine, sample_plan=sample_plan)
     started = time.perf_counter()
     result = simulator.run(prewarm=True)
     elapsed = time.perf_counter() - started
@@ -74,9 +76,39 @@ def _run_once(
     return measurement, result
 
 
+def _git_sha() -> Optional[str]:
+    """The simulated tree's commit hash, or ``None`` outside its checkout.
+
+    Guards against attributing the record to an unrelated enclosing
+    repository (e.g. a pip-installed copy whose site-packages happens to
+    live inside some other git checkout): the discovered worktree must
+    actually be this project (it contains ``src/repro``).
+    """
+    import subprocess
+
+    here = Path(__file__).resolve().parent
+
+    def _git(*argv: str) -> Optional[str]:
+        try:
+            out = subprocess.run(
+                ["git", *argv], cwd=here,
+                capture_output=True, text=True, timeout=5,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        value = out.stdout.strip()
+        return value if out.returncode == 0 and value else None
+
+    toplevel = _git("rev-parse", "--show-toplevel")
+    if toplevel is None or not (Path(toplevel) / "src" / "repro").is_dir():
+        return None
+    return _git("rev-parse", "HEAD")
+
+
 def _store_run(store, protocol: str, engine: str, result, elapsed: float, *,
                scale: int, accesses: int, workload: str,
-               trace_dir: Optional[str], scenario: Optional[str]) -> None:
+               trace_dir: Optional[str], scenario: Optional[str],
+               sample_plan: Optional[str] = None) -> None:
     """Persist one measured run under its sweep-point content key."""
     from .experiments.runner import SweepPoint, sweep_point_key, sweep_point_payload
     from .stats.store import StoredRun
@@ -84,7 +116,7 @@ def _store_run(store, protocol: str, engine: str, result, elapsed: float, *,
     point = SweepPoint(
         workload=workload, protocol=protocol, scale=scale,
         accesses_per_thread=accesses, warmup_accesses_per_thread=0,
-        trace_dir=trace_dir, scenario=scenario,
+        trace_dir=trace_dir, scenario=scenario, sample_plan=sample_plan,
     )
     store.put(StoredRun(
         key=sweep_point_key(point, engine),
@@ -100,13 +132,15 @@ def _store_run(store, protocol: str, engine: str, result, elapsed: float, *,
 def run_benchmark(
     *,
     protocols=DEFAULT_PROTOCOLS,
-    engines=ENGINES,
+    engines=("compiled", "object"),
     scale: int = 1024,
     accesses: int = 400,
     rounds: int = 3,
     workload: str = "facesim",
     trace_dir: Optional[str] = None,
     scenario: Optional[str] = None,
+    sampled: bool = False,
+    sample_plan: Optional[str] = None,
     store=None,
 ) -> Dict:
     """Run the throughput microbenchmark; returns one JSON-ready record.
@@ -116,20 +150,41 @@ def run_benchmark(
     machines makes best-of more stable than the mean).  ``trace_dir``
     replays a recorded trace directory instead of generating ``workload``
     (measuring the file-backed frontend, chunked trace compilation
-    included); ``scenario`` benchmarks a composed multi-program mix.  With a
-    ``store`` (a :class:`~repro.stats.store.ResultsStore`), each measured
-    pair's statistics are persisted under their sweep-point key so campaigns
-    and ``repro report`` can reuse them (simulations are deterministic, so
-    every round produces the same statistics -- only the timing varies).
+    included); ``scenario`` benchmarks a composed multi-program mix.
+
+    ``sampled`` additionally measures every protocol under the ``sampled``
+    engine (``sample_plan`` optionally pins the plan spec; default: derived
+    from the trace length) and records a ``sampled_speedup_<protocol>``
+    wall-clock ratio against the exact compiled engine -- the number that
+    shows what statistical sampling buys on this machine.
+
+    The record's ``timestamp`` is read when the measurements complete (never
+    at import time) and ``git_sha`` names the simulated tree when available,
+    so appended bench artifacts stay attributable.  With a ``store`` (a
+    :class:`~repro.stats.store.ResultsStore`), each measured pair's
+    statistics are persisted under their sweep-point key so campaigns and
+    ``repro report`` can reuse them (simulations are deterministic, so every
+    round produces the same statistics -- only the timing varies).
     """
     measurements: Dict[str, Dict] = {}
     run_kwargs = dict(scale=scale, accesses=accesses, workload=workload,
                       trace_dir=trace_dir, scenario=scenario)
+    engines = list(engines)
+    if sampled and "sampled" not in engines:
+        engines.append("sampled")
+    plan = None
+    if sample_plan is not None:
+        from .stats.sampling import SamplingPlan
+
+        plan = SamplingPlan.from_spec(sample_plan)
     for protocol in protocols:
         for engine in engines:
-            _run_once(protocol, engine, **run_kwargs)
+            engine_kwargs = dict(run_kwargs)
+            if engine == "sampled":
+                engine_kwargs["sample_plan"] = plan
+            _run_once(protocol, engine, **engine_kwargs)
             runs: List[tuple] = [
-                _run_once(protocol, engine, **run_kwargs) for _ in range(rounds)
+                _run_once(protocol, engine, **engine_kwargs) for _ in range(rounds)
             ]
             best, best_result = max(runs, key=lambda r: r[0]["accesses_per_sec"])
             measurements[f"{protocol}/{engine}"] = {
@@ -140,6 +195,7 @@ def run_benchmark(
             }
             if store is not None:
                 _store_run(store, protocol, engine, best_result, best["seconds"],
+                           sample_plan=sample_plan if engine == "sampled" else None,
                            **run_kwargs)
     if trace_dir is not None:
         workload_label = f"trace:{trace_dir}"
@@ -149,6 +205,7 @@ def run_benchmark(
         workload_label = workload
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
         "workload": workload_label,
         "scale": scale,
         "accesses_per_core": accesses,
@@ -161,6 +218,12 @@ def run_benchmark(
         if compiled and legacy and legacy["accesses_per_sec"] > 0:
             record[f"speedup_{protocol}_compiled_vs_object"] = round(
                 compiled["accesses_per_sec"] / legacy["accesses_per_sec"], 2
+            )
+        sampled_row = measurements.get(f"{protocol}/sampled")
+        if compiled and sampled_row and sampled_row["seconds_best"] > 0:
+            # Wall-clock ratio over the same trace: what sampling saves.
+            record[f"sampled_speedup_{protocol}"] = round(
+                compiled["seconds_best"] / sampled_row["seconds_best"], 2
             )
     return record
 
@@ -204,8 +267,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="benchmark a composed scenario instead of "
                              "--workload (exclusive with --trace-dir)")
     parser.add_argument("--protocols", nargs="+", default=list(DEFAULT_PROTOCOLS))
-    parser.add_argument("--engines", nargs="+", default=list(ENGINES),
+    parser.add_argument("--engines", nargs="+", default=["compiled", "object"],
                         choices=list(ENGINES))
+    parser.add_argument("--sampled", action="store_true",
+                        help="also measure the sampled engine and record the "
+                             "exact-vs-sampled wall-clock speedup per protocol "
+                             "(docs/sampling.md)")
+    parser.add_argument("--sample-plan", default=None, metavar="SPEC",
+                        help="sampling plan spec for --sampled (default: "
+                             "derived from the trace length)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help="JSON history file to append to ('-' to skip writing)")
     parser.add_argument("--store", default=None, metavar="DIR",
@@ -230,6 +300,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         workload=args.workload,
         trace_dir=args.trace_dir,
         scenario=args.scenario,
+        # Giving a plan implies measuring it (mirrors the main CLI, where
+        # --sample-plan switches the engine).
+        sampled=args.sampled or args.sample_plan is not None,
+        sample_plan=args.sample_plan,
         store=store,
     )
     print(json.dumps(record, indent=2))

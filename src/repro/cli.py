@@ -8,6 +8,7 @@ Usage::
     python -m repro --workload facesim --record-trace traces/facesim
     python -m repro --trace-dir traces/facesim      # exact replay
     python -m repro --scenario het-quad             # multi-program mix
+    python -m repro --sample-plan units=8,detail=150,warmup=100  # sampled run
     python -m repro bench                 # throughput microbenchmark
     python -m repro bench --accesses 100  # CI-sized smoke
     python -m repro campaign run spec.json          # resumable batch runs
@@ -40,6 +41,7 @@ import time
 from typing import List, Optional
 
 from .stats.amat import amat_breakdown
+from .stats.sampling import SamplingPlan
 from .system.config import PROTOCOL_NAMES, SystemConfig
 from .system.numa_system import NumaSystem
 from .system.simulator import ENGINES, Simulator
@@ -75,8 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--broadcast-filter", action="store_true",
                         help="enable the section IV-D TLB broadcast filter (C3D only)")
     parser.add_argument("--seed", type=int, default=None, help="workload RNG seed")
-    parser.add_argument("--engine", default="compiled", choices=list(ENGINES),
-                        help="execution engine (compiled = array-backed fast path)")
+    parser.add_argument("--engine", default=None, choices=list(ENGINES),
+                        help="execution engine (default compiled = array-backed "
+                             "fast path; sampled = statistical sampling, "
+                             "docs/sampling.md)")
+    parser.add_argument("--sample-plan", default=None, metavar="SPEC",
+                        help="sampling plan ('units=8,detail=150,warmup=100' or "
+                             "'auto'); implies --engine sampled")
     parser.add_argument("--trace-dir", default=None, metavar="DIR",
                         help="replay a recorded trace directory instead of "
                              "generating --workload (see docs/workloads.md)")
@@ -153,7 +160,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         record_workload(workload, args.record_trace, trace_format=args.trace_format)
         print(f"recorded : {workload.num_threads} per-core traces "
               f"({args.trace_format}) -> {args.record_trace}")
-    simulator = Simulator(system, workload, engine=args.engine)
+    engine = args.engine
+    sample_plan = None
+    if args.sample_plan is not None:
+        if engine is not None and engine != "sampled":
+            raise SystemExit(
+                f"error: --sample-plan requires the sampled engine, "
+                f"but --engine {engine} was given"
+            )
+        engine = "sampled"
+        if args.sample_plan != "auto":
+            try:
+                sample_plan = SamplingPlan.from_spec(args.sample_plan)
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}")
+    simulator = Simulator(
+        system, workload, engine=engine or "compiled", sample_plan=sample_plan
+    )
 
     print(f"machine  : {config.describe()}")
     name = getattr(workload, "name", args.workload)
@@ -176,6 +199,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"remote memory fraction     : {stats.remote_memory_fraction():.3f}")
     print(f"inter-socket bytes         : {result.inter_socket_bytes}")
     print(f"broadcasts / elided        : {stats.broadcasts} / {stats.broadcasts_elided}")
+    sampling = getattr(stats, "sampling", None)
+    if sampling is not None:
+        print()
+        print(sampling.format())
     print()
     print(amat_breakdown(stats).format())
 

@@ -32,10 +32,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
-from ..caches.block import CacheBlockState
 from ..interconnect.packet import MessageClass
 from .directory import DirectoryState, GlobalDirectory
-from .messages import CoherenceRequestType, EvictionResult, MissResult, ServiceSource
+from .messages import EvictionResult, MissResult, ServiceSource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for type checkers only
     from ..system.numa_system import NumaSystem

@@ -16,7 +16,7 @@ and is consulted by :class:`~repro.core.c3d_protocol.C3DProtocol` when the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..memory.address import DEFAULT_LAYOUT, AddressLayout

@@ -89,7 +89,10 @@ class SweepGrid:
     ``protocols`` x (``workloads`` + ``scenarios`` + ``trace_dirs``) x
     ``topologies`` expand to one :class:`SweepPoint` each; the scalar fields
     (scale, access counts, placement policy, ...) apply to every point of
-    the grid and default to the campaign's settings profile.
+    the grid and default to the campaign's settings profile.  A
+    ``sample_plan`` spec string (docs/sampling.md) runs every point of the
+    grid sampled; sampled points key separately from exact ones in the
+    results store, so mixed campaigns never collide.
     """
 
     protocols: Tuple[str, ...] = ("baseline", "c3d")
@@ -105,6 +108,7 @@ class SweepGrid:
     prewarm: bool = True
     broadcast_filter: bool = False
     seed: Optional[int] = None
+    sample_plan: Optional[str] = None
 
     def sources(self) -> List[Tuple[str, str]]:
         """The workload sources as ``(kind, value)`` pairs, in spec order."""
@@ -134,6 +138,7 @@ class SweepGrid:
                         seed=self.seed,
                         trace_dir=value if kind == "trace_dir" else None,
                         scenario=value if kind == "scenario" else None,
+                        sample_plan=self.sample_plan,
                     )
                     points.append(point)
         return points
@@ -296,6 +301,15 @@ def _parse_grid(payload: Mapping, settings: ExperimentSettings, index: int) -> S
                 f"got {dict(topo)}"
             ) from None
 
+    sample_plan = payload.get("sample_plan")
+    if sample_plan is not None:
+        from ..stats.sampling import SamplingPlan
+
+        try:
+            SamplingPlan.from_spec(sample_plan)
+        except ValueError as exc:
+            raise CampaignError(f"{where}: bad sample_plan: {exc}") from None
+
     return SweepGrid(
         protocols=protocols,
         workloads=workloads,
@@ -315,6 +329,7 @@ def _parse_grid(payload: Mapping, settings: ExperimentSettings, index: int) -> S
         prewarm=payload.get("prewarm", settings.prewarm),
         broadcast_filter=payload.get("broadcast_filter", False),
         seed=payload.get("seed", settings.seed),
+        sample_plan=sample_plan,
     )
 
 

@@ -22,7 +22,7 @@ Every experiment module (one per table/figure) builds on the same pieces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..stats.counters import SimulationStats

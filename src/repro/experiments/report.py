@@ -77,6 +77,71 @@ def _export_csv(name: str, result: object, out_dir: Path) -> Optional[Path]:
     return None
 
 
+def _sampled_points_markdown(store: ResultsStore) -> Optional[str]:
+    """Render every stored *sampled* run as a mean +/- CI table.
+
+    Sampled records carry a :class:`~repro.stats.sampling.SamplingSummary`
+    on their statistics; each becomes one row with ``mean ± half-width``
+    cells per metric (the textual form of an error bar).  Returns ``None``
+    when the store holds no sampled runs.
+    """
+    rows = []
+    metric_names: List[str] = []
+    for record in store.records():
+        summary = getattr(record.stats, "sampling", None)
+        if summary is None or not summary.metrics:
+            continue
+        params = record.params
+        source = (
+            params.get("scenario")
+            or params.get("trace_dir")
+            or params.get("workload")
+            or record.key[:12]
+        )
+        protocol = params.get("protocol", "?")
+        # Fully qualify the row so runs differing only in machine shape,
+        # scale or plan stay distinguishable.
+        parts = [f"{source}/{protocol}"]
+        if params.get("scale") is not None:
+            parts.append(f"s{params['scale']}")
+        if params.get("num_sockets") is not None:
+            parts.append(
+                f"{params['num_sockets']}x{params.get('cores_per_socket', '?')}"
+            )
+        plan = params.get("sample_plan")
+        if isinstance(plan, Mapping):
+            parts.append(
+                f"u{plan.get('num_units')}/d{plan.get('detail')}"
+                f"/w{plan.get('warmup')}"
+            )
+        for name in summary.metrics:
+            if name not in metric_names:
+                metric_names.append(name)
+        rows.append((" ".join(parts), summary))
+    if not rows:
+        return None
+    header = ["point", "units", "confidence"] + metric_names
+    lines = [
+        "## sampled points",
+        "",
+        "Per-metric mean ± confidence half-width over the detail windows of "
+        "each sampled run (docs/sampling.md).",
+        "",
+        "| " + " | ".join(header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    for label, summary in sorted(rows, key=lambda row: row[0]):
+        cells = [label, str(summary.plan.num_units), f"{summary.plan.confidence:.0%}"]
+        for name in metric_names:
+            estimate = summary.metrics.get(name)
+            cells.append(
+                f"{estimate.mean:.4g} ± {estimate.half_width:.2g}"
+                if estimate is not None else "—"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
 def generate_report(
     store: ResultsStore,
     settings: Optional[ExperimentSettings] = None,
@@ -153,6 +218,14 @@ def generate_report(
         entries[name] = entry
         print(f"{name}: ok", file=stream)
 
+    sampled_markdown = _sampled_points_markdown(store)
+    if sampled_markdown is not None:
+        print("sampled points: ok", file=stream)
+        if out_path is not None:
+            (out_path / "sampled_points.md").write_text(
+                sampled_markdown + "\n", encoding="utf-8"
+            )
+
     if out_path is not None:
         index_lines = ["# Experiment report", ""]
         for name, entry in entries.items():
@@ -161,6 +234,9 @@ def generate_report(
                                    else f"- {name} (text only: {name}.txt)")
             else:
                 index_lines.append(f"- {name} — **incomplete**: {entry.missing}")
+        if sampled_markdown is not None:
+            index_lines.append("- [sampled points](sampled_points.md) "
+                               "(mean ± CI per metric)")
         (out_path / "index.md").write_text("\n".join(index_lines) + "\n",
                                            encoding="utf-8")
     return entries

@@ -85,6 +85,12 @@ class SweepPoint:
     ``scenario`` (a built-in name or a scenario JSON path) builds a composed
     multi-program mix.  ``trace_dir`` and ``scenario`` are mutually
     exclusive and both override ``workload``.
+
+    ``sample_plan`` (a :meth:`~repro.stats.sampling.SamplingPlan.from_spec`
+    string such as ``"units=8,detail=150,warmup=100"``) switches the point to
+    the ``sampled`` engine (docs/sampling.md); sampled points hash to store
+    keys distinct from exact ones, so the two never collide in a results
+    store.
     """
 
     workload: str = "facesim"
@@ -100,6 +106,7 @@ class SweepPoint:
     seed: Optional[int] = None
     trace_dir: Optional[str] = None
     scenario: Optional[str] = None
+    sample_plan: Optional[str] = None
 
 
 @dataclass
@@ -125,10 +132,21 @@ def sweep_point_payload(point: SweepPoint, engine: str = "compiled") -> Dict:
     Note that ``trace_dir``/``scenario`` are keyed by *path*, not file
     content -- editing a trace in place requires ``repro campaign clean``
     (see docs/campaigns.md).
+
+    A ``sample_plan`` forces ``engine="sampled"`` into the payload and is
+    normalised to the plan's canonical JSON form, so equivalent spec strings
+    (key order, defaulted fields) share one key while any *semantic* plan
+    difference -- and the exact/sampled distinction itself -- yields a
+    different key.
     """
     payload = asdict(point)
     if point.trace_dir is not None or point.scenario is not None:
         payload["workload"] = None
+    if point.sample_plan is not None:
+        from ..stats.sampling import SamplingPlan
+
+        payload["sample_plan"] = SamplingPlan.from_spec(point.sample_plan).to_json_dict()
+        engine = "sampled"
     payload.update(kind="sweep-point", schema=STORE_SCHEMA_VERSION, engine=engine)
     return payload
 
@@ -165,8 +183,14 @@ def _run_sweep_point(point: SweepPoint, engine: str = "compiled") -> SweepResult
         accesses_per_thread=point.accesses_per_thread + point.warmup_accesses_per_thread,
         seed=point.seed,
     )
+    sample_plan = None
+    if point.sample_plan is not None:
+        from ..stats.sampling import SamplingPlan
+
+        sample_plan = SamplingPlan.from_spec(point.sample_plan)
+        engine = "sampled"
     started = time.time()
-    result = Simulator(system, workload, engine=engine).run(
+    result = Simulator(system, workload, engine=engine, sample_plan=sample_plan).run(
         warmup_accesses_per_core=point.warmup_accesses_per_thread,
         prewarm=point.prewarm,
     )

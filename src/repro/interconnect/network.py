@@ -9,10 +9,10 @@ packets.  Fig. 2's idealisations map to ``zero_latency`` (0-QPI-latency) and
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from .link import Link
-from .packet import CONTROL_PACKET_BYTES, DATA_PACKET_BYTES, MessageClass, Packet, PacketKind
+from .packet import CONTROL_PACKET_BYTES, DATA_PACKET_BYTES, MessageClass, PacketKind
 from .topology import Topology
 
 __all__ = ["Interconnect"]

@@ -17,7 +17,7 @@ which matches commodity controllers and spreads the load evenly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 __all__ = ["MemoryAccessResult", "MemoryChannel", "MemoryController"]

@@ -4,7 +4,10 @@
 ``amat`` decomposes them into the paper's average-memory-access-time
 argument; ``report`` renders rows/series as text or Markdown tables;
 ``export`` writes them as JSON/CSV; ``store`` is the persistent
-append-only results store behind resumable campaigns (docs/campaigns.md).
+append-only results store behind resumable campaigns (docs/campaigns.md);
+``sampling`` is the SMARTS-style systematic-sampling machinery -- plans,
+per-metric confidence intervals and the sampled statistics extension
+(docs/sampling.md).
 """
 
 from .amat import AMATBreakdown, amat_breakdown, estimate_amat
@@ -23,6 +26,12 @@ from .report import (
     geometric_mean,
     normalise,
     series_to_markdown,
+)
+from .sampling import (
+    MetricEstimate,
+    SampledSimulationStats,
+    SamplingPlan,
+    SamplingSummary,
 )
 from .store import (
     STORE_SCHEMA_VERSION,
@@ -54,4 +63,8 @@ __all__ = [
     "MissingRunError",
     "content_key",
     "STORE_SCHEMA_VERSION",
+    "SamplingPlan",
+    "SamplingSummary",
+    "MetricEstimate",
+    "SampledSimulationStats",
 ]

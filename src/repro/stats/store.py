@@ -24,11 +24,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Union
 
 from .counters import SimulationStats
+from .sampling import SampledSimulationStats
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
@@ -106,10 +107,17 @@ class StoredRun:
 
     @classmethod
     def from_json_dict(cls, payload: Mapping) -> "StoredRun":
+        stats_payload = payload["stats"]
+        # Sampled runs carry their per-metric confidence intervals in a
+        # "sampling" section; rebuild them as SampledSimulationStats so the
+        # estimates survive the store round trip.
+        stats_cls = (
+            SampledSimulationStats if "sampling" in stats_payload else SimulationStats
+        )
         return cls(
             key=payload["key"],
             params=dict(payload["params"]),
-            stats=SimulationStats.from_json_dict(payload["stats"]),
+            stats=stats_cls.from_json_dict(stats_payload),
             total_time_ns=payload["total_time_ns"],
             inter_socket_bytes=payload["inter_socket_bytes"],
             accesses_executed=payload["accesses_executed"],

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 __all__ = [
     "CacheConfig",

@@ -14,10 +14,19 @@ statistics are reset while all cache/directory contents are preserved.
 from __future__ import annotations
 
 import heapq
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from ..stats.counters import SimulationStats
+from ..stats.sampling import (
+    SampledSimulationStats,
+    SamplingPlan,
+    SamplingSummary,
+    delta_counters,
+    estimate_metrics,
+    snapshot_counters,
+)
 from ..workloads.compiled import CompiledTrace, compile_trace
 from ..workloads.trace import MemoryAccess
 from .numa_system import NumaSystem
@@ -26,8 +35,69 @@ __all__ = ["Simulator", "SimulationResult", "ENGINES"]
 
 #: Supported execution engines.  ``compiled`` materialises per-core traces
 #: into flat arrays and runs the lean dispatch loop; ``object`` is the legacy
-#: one-``MemoryAccess``-at-a-time generator path kept for equivalence testing.
-ENGINES = ("compiled", "object")
+#: one-``MemoryAccess``-at-a-time generator path kept for equivalence
+#: testing; ``sampled`` drives the compiled loop through a
+#: :class:`~repro.stats.sampling.SamplingPlan` (fast-forward / warmup /
+#: detail alternation with per-metric confidence intervals --
+#: docs/sampling.md).
+ENGINES = ("compiled", "object", "sampled")
+
+
+@contextmanager
+def _scratch_stats(system: NumaSystem):
+    """Swap the system statistics for a throw-away object, then restore.
+
+    Everything in the machine reaches the counters through ``system.stats``
+    dynamically (sockets, cores and protocols all read the attribute per
+    access), so a swap is a complete measurement blackout: warm-up windows
+    advance every architectural and timing structure while the measured
+    counters stay untouched.
+    """
+    real = system.stats
+    system.stats = SimulationStats()
+    try:
+        yield
+    finally:
+        system.stats = real
+
+
+@contextmanager
+def _functional_timing(system: NumaSystem):
+    """Stub the timing models out while leaving every state update intact.
+
+    Inside this context the interconnect's ``send`` and each memory
+    controller's ``read_fast``/``write_fast`` return zero latency and mutate
+    no busy-until bandwidth state, so the coherence protocols can run their
+    normal (state-exact) transaction logic during fast-forward without
+    polluting channel/link occupancy for the detailed windows that follow.
+    """
+
+    def _zero_send(now, src, dst, message_class):
+        return 0.0
+
+    def _zero_memory(now, block):
+        return 0.0
+
+    interconnect = system.interconnect
+    protocol = system.protocol
+    saved_send = interconnect.send
+    saved_protocol_send = protocol._net_send
+    interconnect.send = _zero_send
+    protocol._net_send = _zero_send
+    saved_memory = []
+    for sock in system.sockets:
+        memory = sock.memory
+        saved_memory.append((memory, memory.read_fast, memory.write_fast))
+        memory.read_fast = _zero_memory
+        memory.write_fast = _zero_memory
+    try:
+        yield
+    finally:
+        interconnect.send = saved_send
+        protocol._net_send = saved_protocol_send
+        for memory, read_fast, write_fast in saved_memory:
+            memory.read_fast = read_fast
+            memory.write_fast = write_fast
 
 
 @dataclass
@@ -47,12 +117,26 @@ class SimulationResult:
 class Simulator:
     """Drives a :class:`~repro.system.numa_system.NumaSystem` with a workload."""
 
-    def __init__(self, system: NumaSystem, workload, *, engine: str = "compiled") -> None:
+    def __init__(
+        self,
+        system: NumaSystem,
+        workload,
+        *,
+        engine: str = "compiled",
+        sample_plan: Optional[SamplingPlan] = None,
+    ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if sample_plan is not None and engine != "sampled":
+            raise ValueError(
+                f"sample_plan requires engine='sampled', got engine={engine!r}"
+            )
         self.system = system
         self.workload = workload
         self.engine = engine
+        #: Plan for the ``sampled`` engine; ``None`` derives one from the
+        #: measured-region length (:meth:`SamplingPlan.for_region`).
+        self.sample_plan = sample_plan
 
     # ------------------------------------------------------------------
     # Public API
@@ -77,6 +161,11 @@ class Simulator:
         self._prepare_first_touch()
         if prewarm:
             self.prewarm_dram_caches()
+        if self.engine == "sampled":
+            return self._run_sampled(
+                max_accesses_per_core=max_accesses_per_core,
+                warmup_accesses_per_core=warmup_accesses_per_core,
+            )
         if self.engine == "compiled":
             traces = self._compile_streams()
             if not traces:
@@ -361,6 +450,209 @@ class Simulator:
                 current = heappop(heap)
             else:
                 return executed
+
+    # ------------------------------------------------------------------
+    # Sampled execution (docs/sampling.md)
+    # ------------------------------------------------------------------
+
+    def _run_sampled(
+        self,
+        *,
+        max_accesses_per_core: Optional[int],
+        warmup_accesses_per_core: int,
+    ) -> SimulationResult:
+        """Drive the compiled loop through the sampling plan.
+
+        The run-level warm-up (``warmup_accesses_per_core``) executes in full
+        detail with blacked-out statistics, exactly like the exact engines.
+        The measured region is then covered by the plan's units: functional
+        fast-forward (state advances, no timing), detailed-but-unmeasured
+        warm-up, and measured detail windows whose per-window counter deltas
+        become the observations behind the per-metric confidence intervals.
+
+        ``accesses_executed`` counts every access the measured region
+        *covered* (fast-forwarded, warm-up and detail alike) so that
+        accesses/second is directly comparable with an exact run over the
+        same trace.
+        """
+        system = self.system
+        traces = self._compile_streams()
+        plan = self.sample_plan
+        if not traces:
+            stats = SampledSimulationStats(
+                SamplingSummary(plan=plan or SamplingPlan())
+            )
+            system.stats = stats
+            return SimulationResult(stats, 0.0, 0, 0)
+        cursors = {core_id: 0 for core_id in traces}
+        if warmup_accesses_per_core > 0:
+            with _scratch_stats(system):
+                self._run_phase_compiled(traces, cursors, warmup_accesses_per_core)
+
+        # The sampled analogue of reset_measurement(): fresh (sampled)
+        # counters, preserved cache/directory/timing state.
+        stats = SampledSimulationStats()
+        system.stats = stats
+        interconnect = system.interconnect
+        interconnect.reset_counters()
+
+        region = max(traces[cid].length - cursors[cid] for cid in traces)
+        if max_accesses_per_core is not None:
+            region = min(region, max_accesses_per_core)
+        if plan is None:
+            plan = SamplingPlan.for_region(region)
+        units = plan.units(region)
+
+        cores = system.cores
+        executed = 0
+        detail_total = 0
+        inter_socket_bytes = 0
+        detail_elapsed = {core_id: 0.0 for core_id in traces}
+        samples = []
+        for unit in units:
+            if unit.fastforward:
+                with _scratch_stats(system), _functional_timing(system):
+                    executed += self._run_phase_functional(
+                        traces, cursors, unit.fastforward
+                    )
+            if unit.warmup:
+                with _scratch_stats(system):
+                    executed += self._run_phase_compiled(traces, cursors, unit.warmup)
+            if unit.detail:
+                before = snapshot_counters(stats)
+                bytes_before = interconnect.bytes_sent
+                starts = {core_id: cores[core_id].time for core_id in traces}
+                detail_executed = self._run_phase_compiled(
+                    traces, cursors, unit.detail
+                )
+                if not detail_executed:
+                    continue  # every trace exhausted before this window
+                executed += detail_executed
+                detail_total += detail_executed
+                samples.append(delta_counters(before, snapshot_counters(stats)))
+                inter_socket_bytes += interconnect.bytes_sent - bytes_before
+                for core_id in traces:
+                    detail_elapsed[core_id] += cores[core_id].time - starts[core_id]
+
+        for core_id, elapsed in detail_elapsed.items():
+            stats.core_finish_ns[core_id] = elapsed
+        summary = SamplingSummary(
+            plan=plan,
+            detail_accesses=detail_total,
+            covered_accesses=executed,
+        )
+        if len(samples) >= 2:
+            summary.metrics = estimate_metrics(
+                samples, confidence=plan.confidence, bias_floor=plan.bias_floor
+            )
+        stats.sampling = summary
+        return SimulationResult(
+            stats=stats,
+            total_time_ns=stats.total_time_ns(),
+            inter_socket_bytes=inter_socket_bytes,
+            accesses_executed=executed,
+        )
+
+    #: Accesses each core advances per turn of the functional round-robin.
+    #: Coarser than the timed engines' per-access interleave, which is fine:
+    #: fast-forward is approximate by design (no timing), and the chunking
+    #: amortises the scheduling overhead the phase exists to avoid.
+    _FUNCTIONAL_CHUNK = 32
+
+    def _run_phase_functional(
+        self,
+        traces: Dict[int, CompiledTrace],
+        cursors: Dict[int, int],
+        limit_per_core: Optional[int],
+    ) -> int:
+        """Advance every compiled trace functionally: state, no timing.
+
+        First-touch page placement and the broadcast-filter classifier see
+        every access (they are order-dependent and must not skip), the L1 hit
+        path is an inlined recency update, and everything below the L1 goes
+        through :meth:`Socket.access_functional` -- the state-exact mirror of
+        the demand path.  Callers wrap this phase in ``_scratch_stats`` and
+        ``_functional_timing`` so neither statistics nor busy-until state
+        advance.
+        """
+        system = self.system
+        classifier = system.page_classifier
+        record_access = classifier.record_access if classifier is not None else None
+        mapper = system.mapper
+        home_of_page = mapper.policy.home_of_page
+        touched_pages = mapper._touched_pages
+        config = system.config
+
+        states = []
+        for core_id, trace in traces.items():
+            start = cursors[core_id]
+            end = trace.length if limit_per_core is None else min(
+                trace.length, start + limit_per_core
+            )
+            if start >= end:
+                continue
+            core = system.cores[core_id]
+            socket = system.sockets[config.socket_of_core(core_id)]
+            l1 = socket.l1s[core.local_index]
+            states.append((
+                core_id,
+                trace.blocks,
+                trace.pages,
+                trace.addrs,
+                trace.writes,
+                end,
+                core.local_index,
+                core.thread_id,
+                socket.access_functional,
+                l1._sets if getattr(l1, "_touch_moves", False) else None,
+                l1.num_sets,
+                socket.socket_id,
+            ))
+
+        executed = 0
+        chunk = self._FUNCTIONAL_CHUNK
+        active = states
+        while active:
+            next_active = []
+            for state in active:
+                (core_id, blocks, pages, addrs, writes, end,
+                 local_index, thread_id, access_functional, l1_sets,
+                 num_sets, socket_id) = state
+                i = cursors[core_id]
+                stop = min(end, i + chunk)
+                executed += stop - i
+                while i < stop:
+                    page = pages[i]
+                    # Inlined AddressMapper.touch_page (order-dependent).
+                    home = home_of_page(page, socket_id)
+                    if page not in touched_pages:
+                        touched_pages[page] = home
+                    if record_access is not None:
+                        record_access(thread_id, addrs[i])
+                    block = blocks[i]
+                    if writes[i]:
+                        # Writes (and every L1 miss below) take the full
+                        # functional path, which keeps dirty bits and
+                        # coherence state exactly as the demand path would.
+                        access_functional(local_index, block, True, thread_id)
+                    elif l1_sets is not None:
+                        # Inlined intrusive-LRU L1 read-hit path (recency
+                        # only; the cache's own hit counters are skipped).
+                        cache_set = l1_sets.get(block % num_sets)
+                        line = cache_set.get(block) if cache_set is not None else None
+                        if line is not None:
+                            del cache_set[block]
+                            cache_set[block] = line
+                        else:
+                            access_functional(local_index, block, False, thread_id)
+                    else:
+                        access_functional(local_index, block, False, thread_id)
+                    i += 1
+                cursors[core_id] = i
+                if i < end:
+                    next_active.append(state)
+            active = next_active
+        return executed
 
     def _run_phase(
         self,

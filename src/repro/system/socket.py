@@ -225,6 +225,57 @@ class Socket:
         self._fill(now + latency, core_index, block, modified=is_write)
         return latency, source
 
+    def access_functional(self, core_index: int, block: int, is_write: bool,
+                          thread_id: int = 0) -> None:
+        """Functional-only access: advance cache/directory state, no timing.
+
+        Used by the sampled engine's fast-forward segments
+        (:meth:`repro.system.simulator.Simulator._run_phase_functional`).
+        The *state* transitions mirror :meth:`access` exactly -- L1/LLC
+        recency and fills, local-directory bookkeeping, and the global
+        protocol's directory/DRAM-cache updates (invoked through the normal
+        ``read_miss``/``write_miss`` entry points, which the caller has put
+        into functional mode: interconnect sends and memory accesses are
+        stubbed to zero latency so no busy-until timing state advances).
+        Latencies are discarded and statistics land on the scratch counters
+        the caller installed, so a fast-forward leaves the measured
+        statistics untouched while every cache stays warm.
+        """
+        l1 = self.l1s[core_index]
+        line = l1.lookup(block)
+        if line is not None and (not is_write or line.state is _MODIFIED):
+            if is_write:
+                line.dirty = True
+                llc_line = self.llc.peek(block)
+                if llc_line is not None:
+                    llc_line.dirty = True
+            return
+        llc = self.llc
+        llc_line = llc.lookup(block)
+        if llc_line is not None:
+            if not is_write:
+                self._peer_intervention(core_index, block)
+                self._fill_l1(core_index, block, modified=False)
+                return
+            if llc_line.state is _MODIFIED:
+                self._local_write_update(core_index, block)
+                return
+            self.protocol.write_miss(
+                0.0, self.socket_id, block,
+                thread_id=thread_id, has_shared_copy=True,
+            )
+            llc.set_state(block, _MODIFIED, dirty=True)
+            self._local_write_update(core_index, block)
+            return
+        if is_write:
+            self.protocol.write_miss(
+                0.0, self.socket_id, block,
+                thread_id=thread_id, has_shared_copy=False,
+            )
+        else:
+            self.protocol.read_miss(0.0, self.socket_id, block)
+        self._fill(0.0, core_index, block, modified=is_write)
+
     # ------------------------------------------------------------------
     # Intra-socket mechanics
     # ------------------------------------------------------------------

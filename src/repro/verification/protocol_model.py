@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Tuple
 
 __all__ = ["Freshness", "ProtocolVariant", "BlockState", "AbstractMachineState",
            "C3DAbstractModel", "InvariantViolation"]

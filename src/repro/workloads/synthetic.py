@@ -33,8 +33,8 @@ section 5), which preserves hit rates and therefore the normalised results.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
 
 import numpy as np
 

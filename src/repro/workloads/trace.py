@@ -12,7 +12,7 @@ three fields as flat columns instead (:mod:`repro.workloads.compiled`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List
+from typing import Iterable, List
 
 __all__ = ["MemoryAccess", "materialise"]
 

@@ -5,7 +5,7 @@ import pytest
 from repro.coherence.directory import DirectoryState
 from repro.coherence.messages import ServiceSource
 
-from ..conftest import block_homed_at, read, tiny_system, write
+from ..conftest import block_homed_at, read, write
 
 
 def test_baseline_sockets_have_no_dram_cache(baseline_system):

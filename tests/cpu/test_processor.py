@@ -1,6 +1,5 @@
 """Tests for the simple 1-IPC timing core."""
 
-import pytest
 
 from repro.workloads.trace import MemoryAccess
 

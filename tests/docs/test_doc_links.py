@@ -1,7 +1,6 @@
 """The docs link checker must pass on the repo and catch broken links."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]

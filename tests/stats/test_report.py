@@ -1,6 +1,5 @@
 """Tests for the report-formatting helpers."""
 
-import math
 
 import pytest
 

@@ -3,7 +3,6 @@
 import dataclasses
 import json
 
-import pytest
 
 from repro.stats.counters import LatencyAccumulator, SimulationStats
 from repro.stats.store import (

@@ -17,6 +17,37 @@ def test_run_benchmark_record_shape():
     assert record["workload"] == "facesim"
 
 
+def test_bench_record_is_attributable():
+    """Timestamp read at measurement time (not import time) + git SHA."""
+    import calendar
+    import re
+    import time
+
+    before = time.time()
+    record = run_benchmark(
+        protocols=("baseline",), engines=("compiled",),
+        scale=4096, accesses=30, rounds=1,
+    )
+    after = time.time()
+    # The timestamp is UTC; timegm is mktime's timezone-ignorant inverse.
+    stamp = calendar.timegm(time.strptime(record["timestamp"], "%Y-%m-%dT%H:%M:%SZ"))
+    assert before - 1 <= stamp <= after + 1
+    # This test runs from a git checkout, so the SHA must be present.
+    assert record["git_sha"] is not None
+    assert re.fullmatch(r"[0-9a-f]{40}", record["git_sha"])
+
+
+def test_benchmark_sampled_records_speedup():
+    record = run_benchmark(
+        protocols=("baseline",), engines=("compiled",),
+        scale=4096, accesses=200, rounds=1, sampled=True,
+        sample_plan="units=4,detail=20,warmup=10",
+    )
+    assert "baseline/sampled" in record["measurements"]
+    assert record["measurements"]["baseline/sampled"]["executed"] == 200 * 32
+    assert record["sampled_speedup_baseline"] > 0
+
+
 def test_benchmark_reports_engine_speedup():
     record = run_benchmark(
         protocols=("baseline",), engines=("compiled", "object"),

@@ -69,9 +69,11 @@ def test_cli_record_then_replay_identical_report(tmp_path, capsys):
     assert main(args + ["--trace-dir", str(trace_dir)]) == 0
     replayed = capsys.readouterr().out
     # Identical statistics block (strip the banner/wall-clock lines).
-    pick = lambda text: [l for l in text.splitlines()
-                         if ":" in l and "wall clock" not in l
-                         and "recorded" not in l and "machine" not in l]
+    def pick(text):
+        return [line for line in text.splitlines()
+                if ":" in line and "wall clock" not in line
+                and "recorded" not in line and "machine" not in line]
+
     assert pick(direct) == pick(replayed)
 
 

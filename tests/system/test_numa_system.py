@@ -1,10 +1,9 @@
 """Tests for machine assembly and the protocol registry."""
 
-import pytest
 
 from repro.coherence.baseline import BaselineProtocol
 from repro.core.c3d_protocol import C3DProtocol
-from repro.system.numa_system import PROTOCOL_REGISTRY, NumaSystem, build_system
+from repro.system.numa_system import PROTOCOL_REGISTRY, build_system
 
 from ..conftest import block_homed_at, read, tiny_config, tiny_system, write
 

@@ -1,6 +1,5 @@
 """Tests for the trace-driven simulation driver."""
 
-import pytest
 
 from repro.system.numa_system import NumaSystem
 from repro.system.simulator import Simulator

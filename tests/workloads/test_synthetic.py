@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.workloads.synthetic import REGION_NAMES, SyntheticWorkload, WorkloadSpec
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadSpec
 from repro.workloads.trace import materialise
 
 MB = 2**20

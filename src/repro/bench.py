@@ -31,9 +31,10 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from . import engines as engine_registry
 from .system.config import SystemConfig
 from .system.numa_system import NumaSystem
-from .system.simulator import ENGINES, Simulator
+from .system.simulator import Simulator
 from .workloads.scenario import build_workload
 
 __all__ = ["run_benchmark", "build_parser", "main"]
@@ -169,7 +170,7 @@ def run_benchmark(
     measurements: Dict[str, Dict] = {}
     run_kwargs = dict(scale=scale, accesses=accesses, workload=workload,
                       trace_dir=trace_dir, scenario=scenario)
-    engines = list(engines)
+    engines = [engine_registry.validate(engine) for engine in engines]
     if sampled and "sampled" not in engines:
         engines.append("sampled")
     plan = None
@@ -179,8 +180,11 @@ def run_benchmark(
         plan = SamplingPlan.from_spec(sample_plan)
     for protocol in protocols:
         for engine in engines:
+            # Capability flag, not a name comparison: any registered
+            # sampling engine gets the plan.
+            samples = engine_registry.get(engine).supports_sampling
             engine_kwargs = dict(run_kwargs)
-            if engine == "sampled":
+            if samples:
                 engine_kwargs["sample_plan"] = plan
             _run_once(protocol, engine, **engine_kwargs)
             runs: List[tuple] = [
@@ -195,7 +199,7 @@ def run_benchmark(
             }
             if store is not None:
                 _store_run(store, protocol, engine, best_result, best["seconds"],
-                           sample_plan=sample_plan if engine == "sampled" else None,
+                           sample_plan=sample_plan if samples else None,
                            **run_kwargs)
     if trace_dir is not None:
         workload_label = f"trace:{trace_dir}"
@@ -268,7 +272,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "--workload (exclusive with --trace-dir)")
     parser.add_argument("--protocols", nargs="+", default=list(DEFAULT_PROTOCOLS))
     parser.add_argument("--engines", nargs="+", default=["compiled", "object"],
-                        choices=list(ENGINES))
+                        metavar="NAME",
+                        help="execution engines to measure (registry: "
+                             f"{', '.join(engine_registry.names())})")
     parser.add_argument("--sampled", action="store_true",
                         help="also measure the sampled engine and record the "
                              "exact-vs-sampled wall-clock speedup per protocol "
@@ -286,6 +292,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        for engine in args.engines:
+            engine_registry.validate(engine)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     store = None
     if args.store is not None:
         from .stats.store import ResultsStore

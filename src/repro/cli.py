@@ -40,11 +40,12 @@ import sys
 import time
 from typing import List, Optional
 
+from . import engines
 from .stats.amat import amat_breakdown
 from .stats.sampling import SamplingPlan
 from .system.config import PROTOCOL_NAMES, SystemConfig
 from .system.numa_system import NumaSystem
-from .system.simulator import ENGINES, Simulator
+from .system.simulator import Simulator
 from .workloads.registry import WORKLOAD_SPECS
 from .workloads.scenario import build_workload
 from .workloads.trace_io import TRACE_FORMATS, record_workload
@@ -77,10 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--broadcast-filter", action="store_true",
                         help="enable the section IV-D TLB broadcast filter (C3D only)")
     parser.add_argument("--seed", type=int, default=None, help="workload RNG seed")
-    parser.add_argument("--engine", default=None, choices=list(ENGINES),
-                        help="execution engine (default compiled = array-backed "
-                             "fast path; sampled = statistical sampling, "
-                             "docs/sampling.md)")
+    parser.add_argument("--engine", default=None, metavar="NAME",
+                        help="execution engine (registry: "
+                             f"{', '.join(engines.names())}; default compiled "
+                             "= array-backed fast path; sampled = statistical "
+                             "sampling, docs/sampling.md)")
     parser.add_argument("--sample-plan", default=None, metavar="SPEC",
                         help="sampling plan ('units=8,detail=150,warmup=100' or "
                              "'auto'); implies --engine sampled")
@@ -145,6 +147,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         return report_main(argv[1:])
     args = build_parser().parse_args(argv)
 
+    # Engine resolution happens before any expensive work (workload
+    # generation, trace recording) so a typo fails fast, like the old
+    # argparse choices did -- but with the registry's name listing.
+    engine = args.engine
+    if engine is not None:
+        try:
+            engines.validate(engine)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    sample_plan = None
+    if args.sample_plan is not None:
+        if engine is None:
+            engine = "sampled"
+        elif not engines.get(engine).supports_sampling:
+            # Capability flag, not a name comparison: a registered
+            # third-party sampling engine accepts --sample-plan too.
+            raise SystemExit(
+                f"error: --sample-plan requires an engine with sampling "
+                f"support, but --engine {engine} does not sample"
+            )
+        if args.sample_plan != "auto":
+            try:
+                sample_plan = SamplingPlan.from_spec(args.sample_plan)
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}")
+
     base = SystemConfig.dual_socket if args.sockets == 2 else SystemConfig.quad_socket
     config = base(
         protocol=args.protocol,
@@ -160,20 +188,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         record_workload(workload, args.record_trace, trace_format=args.trace_format)
         print(f"recorded : {workload.num_threads} per-core traces "
               f"({args.trace_format}) -> {args.record_trace}")
-    engine = args.engine
-    sample_plan = None
-    if args.sample_plan is not None:
-        if engine is not None and engine != "sampled":
-            raise SystemExit(
-                f"error: --sample-plan requires the sampled engine, "
-                f"but --engine {engine} was given"
-            )
-        engine = "sampled"
-        if args.sample_plan != "auto":
-            try:
-                sample_plan = SamplingPlan.from_spec(args.sample_plan)
-            except ValueError as exc:
-                raise SystemExit(f"error: {exc}")
     simulator = Simulator(
         system, workload, engine=engine or "compiled", sample_plan=sample_plan
     )

@@ -143,3 +143,49 @@ class BaselineProtocol(GlobalCoherenceProtocol):
         # Clean (Shared) evictions are silent: the sharing vector becomes a
         # stale superset, which is still a valid over-approximation.
         return result
+
+    # ------------------------------------------------------------------
+    # Functional (state-only) mirrors -- see GlobalCoherenceProtocol
+    # ------------------------------------------------------------------
+
+    def read_miss_functional(self, requester: int, block: int) -> None:
+        directory = self.directories[self._home_of_block(block)]
+        entry = directory.lookup(block)
+        if (
+            entry is not None
+            and entry.state is DirectoryState.MODIFIED
+            and entry.owner is not None
+            and entry.owner != requester
+        ):
+            owner = entry.owner
+            # Mirror of _fetch_from_remote_llc(downgrade=True): the owner
+            # keeps a Shared copy (the write-through touches only counters).
+            self.sockets[owner].downgrade_block(block)
+            directory.set_shared(block, {owner, requester})
+        else:
+            self._directory_note_read_sharer(directory, block, requester)
+
+    def write_miss_functional(
+        self, requester: int, block: int, *, thread_id: int = 0,
+        has_shared_copy: bool = False,
+    ) -> None:
+        directory = self.directories[self._home_of_block(block)]
+        entry = directory.lookup(block)
+        if (
+            entry is not None
+            and entry.state is DirectoryState.MODIFIED
+            and entry.owner is not None
+            and entry.owner != requester
+        ):
+            # Mirror of _fetch_from_remote_llc(downgrade=False).
+            self.sockets[entry.owner].invalidate_onchip(block)
+        elif entry is not None:
+            # Mirror of _invalidate_remote_socket(include_dram_cache=False)
+            # per sharer (the baseline has no DRAM caches to probe).
+            for target in sorted(entry.sharers - {requester}):
+                self.sockets[target].invalidate_onchip(block)
+        directory.set_modified(block, requester)
+
+    def llc_eviction_functional(self, requester: int, block: int, *, dirty: bool) -> None:
+        if dirty:
+            self.directories[self._home_of_block(block)].invalidate(block)

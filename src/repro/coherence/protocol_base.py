@@ -97,6 +97,43 @@ class GlobalCoherenceProtocol(ABC):
         """Handle an LLC victim produced by the requester socket."""
 
     # ------------------------------------------------------------------
+    # Functional (state-only) mirrors
+    # ------------------------------------------------------------------
+    #
+    # The sampled engine's fast-forward phase advances architectural state
+    # without timing (docs/sampling.md).  These entry points perform exactly
+    # the state mutations of their timed counterparts -- directory
+    # transitions, peer invalidations/downgrades, DRAM-cache probes and
+    # inserts -- while skipping the latency arithmetic, message accounting
+    # and result allocation.  The defaults below simply run the timed entry
+    # points; they are only correct when the caller has installed functional
+    # timing (zero-latency interconnect/memory stubs, scratch statistics --
+    # see ``EngineContext.functional_timing``), which the sampled engine
+    # always does, so a design without a lean override stays state-exact.
+    # Subclasses override them with lean state-only mirrors for speed;
+    # tests/engines/test_functional_mirrors.py asserts every lean mirror
+    # leaves bit-identical state behind by re-running the same sampled
+    # simulation with the mirrors forced back to these generic fallbacks.
+
+    def read_miss_functional(self, requester: int, block: int) -> None:
+        """State-only mirror of :meth:`read_miss` (no timing, no result)."""
+        self.read_miss(0.0, requester, block)
+
+    def write_miss_functional(
+        self, requester: int, block: int, *, thread_id: int = 0,
+        has_shared_copy: bool = False,
+    ) -> None:
+        """State-only mirror of :meth:`write_miss` (no timing, no result)."""
+        self.write_miss(
+            0.0, requester, block, thread_id=thread_id,
+            has_shared_copy=has_shared_copy,
+        )
+
+    def llc_eviction_functional(self, requester: int, block: int, *, dirty: bool) -> None:
+        """State-only mirror of :meth:`llc_eviction` (no timing, no result)."""
+        self.llc_eviction(0.0, requester, block, dirty=dirty)
+
+    # ------------------------------------------------------------------
     # Address / component helpers
     # ------------------------------------------------------------------
 

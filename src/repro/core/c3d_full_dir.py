@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from ..coherence.directory import DirectoryState
 from ..coherence.messages import CoherenceRequestType, EvictionResult, MissResult, ServiceSource
+from ..coherence.protocol_base import GlobalCoherenceProtocol
 from .c3d_protocol import C3DProtocol
 
 __all__ = ["C3DFullDirectoryProtocol"]
@@ -32,6 +33,14 @@ class C3DFullDirectoryProtocol(C3DProtocol):
 
     name = "c3d-full-dir"
     tracks_dram_cache_in_directory = True
+
+    # The timed entry points below diverge from plain C3D (the ideal
+    # directory tracks DRAM-cache residency), so the lean functional mirrors
+    # inherited from C3DProtocol would drift; fall back to the generic
+    # state-exact mirrors, which wrap the timed paths.
+    read_miss_functional = GlobalCoherenceProtocol.read_miss_functional
+    write_miss_functional = GlobalCoherenceProtocol.write_miss_functional
+    llc_eviction_functional = GlobalCoherenceProtocol.llc_eviction_functional
 
     # ------------------------------------------------------------------
     # Reads

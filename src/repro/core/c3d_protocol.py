@@ -290,6 +290,84 @@ class C3DProtocol(GlobalCoherenceProtocol):
                               else ServiceSource.REMOTE_MEMORY)
 
     # ------------------------------------------------------------------
+    # Functional (state-only) mirrors -- see GlobalCoherenceProtocol
+    # ------------------------------------------------------------------
+
+    def read_miss_functional(self, requester: int, block: int) -> None:
+        # The DRAM-cache probe is stateful (predictor presence bits and LRU
+        # recency advance) and must run exactly as in the timed path.
+        dram_cache = self.sockets[requester].dram_cache
+        if dram_cache is not None and dram_cache.probe(block).hit:
+            return
+        directory = self.directories[self._home_of_block(block)]
+        entry = directory.lookup(block)
+        if (
+            entry is not None
+            and entry.state is DirectoryState.MODIFIED
+            and entry.owner is not None
+            and entry.owner != requester
+        ):
+            owner = entry.owner
+            # Mirror of _fetch_from_remote_llc(downgrade=True).
+            self.sockets[owner].downgrade_block(block)
+            directory.set_shared(block, {owner, requester})
+        elif entry is not None and entry.state is DirectoryState.SHARED:
+            directory.add_sharer(block, requester)
+        # Invalid / untracked: served by memory, stays untracked.
+
+    def write_miss_functional(
+        self, requester: int, block: int, *, thread_id: int = 0,
+        has_shared_copy: bool = False,
+    ) -> None:
+        if not has_shared_copy:
+            dram_cache = self.sockets[requester].dram_cache
+            if dram_cache is not None:
+                dram_cache.probe(block)
+        directory = self.directories[self._home_of_block(block)]
+        entry = directory.lookup(block)
+        sockets = self.sockets
+        if (
+            entry is not None
+            and entry.state is DirectoryState.MODIFIED
+            and entry.owner is not None
+            and entry.owner != requester
+        ):
+            # Mirror of _invalidate_remote_socket(include_dram_cache=True).
+            target_socket = sockets[entry.owner]
+            if target_socket.dram_cache is not None:
+                target_socket.dram_cache.invalidate(block)
+            target_socket.invalidate_onchip(block)
+        elif entry is not None and entry.state is DirectoryState.SHARED:
+            for target in sorted(entry.sharers - {requester}):
+                target_socket = sockets[target]
+                if target_socket.dram_cache is not None:
+                    target_socket.dram_cache.invalidate(block)
+                target_socket.invalidate_onchip(block)
+        else:
+            # Invalid / untracked: mirror of _broadcast_invalidations unless
+            # the broadcast filter classifies the page thread-private (the
+            # classifier query is stateful and must run either way).
+            skip_broadcast = False
+            if self.broadcast_filter and self.classifier is not None:
+                skip_broadcast = self.classifier.write_is_private(thread_id, block)
+            if not skip_broadcast:
+                for target_socket in sockets:
+                    if target_socket.socket_id == requester:
+                        continue
+                    if target_socket.dram_cache is not None:
+                        target_socket.dram_cache.invalidate(block)
+                    target_socket.invalidate_onchip(block)
+        directory.set_modified(block, requester)
+
+    def llc_eviction_functional(self, requester: int, block: int, *, dirty: bool) -> None:
+        dram_cache = self.sockets[requester].dram_cache
+        if dram_cache is not None:
+            # Clean victim cache: inserts never displace dirty data.
+            dram_cache.insert(block, dirty=False)
+        if dirty:
+            self.directories[self._home_of_block(block)].invalidate(block)
+
+    # ------------------------------------------------------------------
     # Evictions
     # ------------------------------------------------------------------
 

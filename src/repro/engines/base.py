@@ -1,0 +1,531 @@
+"""The execution-engine interface and the shared per-run machinery.
+
+An :class:`ExecutionEngine` is a strategy for driving a
+:class:`~repro.system.numa_system.NumaSystem` with a workload's access
+streams.  The repository ships three (``compiled``, ``object``, ``sampled``
+-- see :mod:`repro.engines`), and third-party engines plug in through
+:func:`repro.engines.register` without touching the simulator.
+
+Engines are stateless: everything one *run* needs -- the system, the
+workload, stream opening/compilation, first-touch page placement, DRAM-cache
+pre-warming, the phase loops and the result assembly -- lives in the
+:class:`EngineContext` the :class:`~repro.system.simulator.Simulator` builds
+per run and hands to :meth:`ExecutionEngine.run`.  That shared setup used to
+be duplicated across the per-engine private methods of a monolithic
+``Simulator``; centralising it here is what keeps a new engine small.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
+
+from ..stats.counters import SimulationStats
+from ..workloads.compiled import CompiledTrace, compile_trace
+from ..workloads.trace import MemoryAccess
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..stats.sampling import SamplingPlan
+    from ..system.numa_system import NumaSystem
+
+__all__ = [
+    "SimulationResult",
+    "EngineContext",
+    "ExecutionEngine",
+    "scratch_stats",
+    "functional_timing",
+]
+
+
+@dataclass
+class SimulationResult:
+    """Everything an experiment needs from one simulation run."""
+
+    stats: SimulationStats
+    total_time_ns: float
+    inter_socket_bytes: int
+    accesses_executed: int
+
+    @property
+    def amat_ns(self) -> float:
+        return self.stats.amat_ns()
+
+
+@contextmanager
+def scratch_stats(system: "NumaSystem"):
+    """Swap the system statistics for a throw-away object, then restore.
+
+    Everything in the machine reaches the counters through ``system.stats``
+    dynamically (sockets, cores and protocols all read the attribute per
+    access), so a swap is a complete measurement blackout: warm-up windows
+    advance every architectural and timing structure while the measured
+    counters stay untouched.
+    """
+    real = system.stats
+    system.stats = SimulationStats()
+    try:
+        yield
+    finally:
+        system.stats = real
+
+
+@contextmanager
+def functional_timing(system: "NumaSystem"):
+    """Stub the timing models out while leaving every state update intact.
+
+    Inside this context the interconnect's ``send`` and each memory
+    controller's ``read_fast``/``write_fast`` return zero latency and mutate
+    no busy-until bandwidth state, so the coherence protocols can run their
+    normal (state-exact) transaction logic during fast-forward without
+    polluting channel/link occupancy for the detailed windows that follow.
+    The protocols' lean ``*_functional`` mirrors skip the timing calls
+    entirely; this context is what keeps the *generic* mirror fallback (and
+    any protocol without a lean mirror) state-exact too.
+    """
+
+    def _zero_send(now, src, dst, message_class):
+        return 0.0
+
+    def _zero_memory(now, block):
+        return 0.0
+
+    interconnect = system.interconnect
+    protocol = system.protocol
+    saved_send = interconnect.send
+    saved_protocol_send = protocol._net_send
+    interconnect.send = _zero_send
+    protocol._net_send = _zero_send
+    saved_memory = []
+    for sock in system.sockets:
+        memory = sock.memory
+        saved_memory.append((memory, memory.read_fast, memory.write_fast))
+        memory.read_fast = _zero_memory
+        memory.write_fast = _zero_memory
+    try:
+        yield
+    finally:
+        interconnect.send = saved_send
+        protocol._net_send = saved_protocol_send
+        for memory, read_fast, write_fast in saved_memory:
+            memory.read_fast = read_fast
+            memory.write_fast = write_fast
+
+
+class EngineContext:
+    """Everything one simulation run shares across engines.
+
+    Owns the pieces every engine needs -- the system, the workload, stream
+    opening/compilation, first-touch preparation, DRAM-cache pre-warm, the
+    two exact phase loops and result assembly -- so concrete engines contain
+    only their scheduling strategy.
+    """
+
+    def __init__(
+        self,
+        system: "NumaSystem",
+        workload,
+        *,
+        sample_plan: Optional["SamplingPlan"] = None,
+    ) -> None:
+        self.system = system
+        self.workload = workload
+        #: Plan for sampling engines; ``None`` lets the engine derive one
+        #: from the measured-region length (:meth:`SamplingPlan.for_region`).
+        self.sample_plan = sample_plan
+
+    # ------------------------------------------------------------------
+    # Stream setup
+    # ------------------------------------------------------------------
+
+    def open_streams(self) -> Dict[int, Iterator[MemoryAccess]]:
+        """Create one access iterator per active core."""
+        num_threads = min(self.workload.num_threads, self.system.num_cores)
+        return {
+            thread_id: iter(self.workload.stream(thread_id))
+            for thread_id in range(num_threads)
+        }
+
+    def compile_streams(self) -> Dict[int, CompiledTrace]:
+        """Materialise one compiled trace per active core."""
+        num_threads = min(self.workload.num_threads, self.system.num_cores)
+        layout = self.system.layout
+        return {
+            thread_id: compile_trace(self.workload, thread_id, layout=layout)
+            for thread_id in range(num_threads)
+        }
+
+    # ------------------------------------------------------------------
+    # Warm-up helpers
+    # ------------------------------------------------------------------
+
+    def prepare_first_touch(self) -> None:
+        """Model the first-touch policies' page placement.
+
+        * **FT1**: the pages touched by the (single-threaded) initialisation
+          phase are all homed at socket 0 before the parallel region starts
+          (this is why the paper found FT1 to perform poorly).
+        * **FT2 / first_touch**: placement reflects steady state -- the
+          measured window starts long after the data set was allocated, so
+          private pages are homed at their owning thread's socket and shared
+          pages are spread (pseudo-uniformly, by page number) across the
+          sockets.  Pages not described by the workload's
+          :meth:`memory_regions` hint still follow plain dynamic first touch.
+
+        The interleave policy ignores both hints.
+        """
+        policy_name = self.system.config.allocation_policy.lower()
+        pin = getattr(self.system.policy, "pin_page", None)
+        if pin is None:
+            return
+
+        if policy_name == "ft1":
+            pages = getattr(self.workload, "serial_init_pages", None)
+            if pages is None:
+                return
+            for page in pages():
+                pin(page, 0)
+            return
+
+        if policy_name in ("ft2", "first_touch", "first-touch"):
+            regions = getattr(self.workload, "memory_regions", None)
+            if regions is None:
+                return
+            layout = self.system.layout
+            config = self.system.config
+            num_sockets = config.num_sockets
+            for region in regions():
+                first_page = layout.page_of(region["base"])
+                num_pages = max(1, region["size"] // layout.page_size)
+                owner_thread = region.get("owner_thread")
+                if owner_thread is not None:
+                    core = owner_thread % config.total_cores
+                    home = config.socket_of_core(core)
+                    for page in range(first_page, first_page + num_pages):
+                        pin(page, home)
+                else:
+                    for page in range(first_page, first_page + num_pages):
+                        pin(page, page % num_sockets)
+
+    def prewarm_dram_caches(self, *, fill_fraction: float = 1.0) -> int:
+        """Functionally pre-load the DRAM caches with the workload's shared data.
+
+        The paper warms its DRAM caches with 100 million accesses before
+        measuring; replaying that many accesses is not affordable here, so
+        the equivalent steady-state content is installed directly: each
+        socket's DRAM cache is filled with blocks of the shared regions (cold
+        first, then warm, then hot, so that the hottest data wins
+        direct-mapped conflicts), up to ``fill_fraction`` of its capacity.
+        For directory designs that track DRAM-cache residency (full-dir and
+        c3d-full-dir) the pre-loaded blocks are also registered as sharers so
+        the directory stays a superset of reality.
+
+        Returns the largest number of blocks inserted into any single cache.
+        """
+        system = self.system
+        if not system.protocol.uses_dram_cache:
+            return 0
+        regions_fn = getattr(self.workload, "memory_regions", None)
+        if regions_fn is None:
+            return 0
+        layout = system.layout
+        shared_regions = [r for r in regions_fn() if r.get("owner_thread") is None]
+        # Least important first so the hottest regions win conflicts.
+        order = {"cold": 0, "warm": 1, "hot": 2}
+        shared_regions.sort(key=lambda r: order.get(r["kind"], 0))
+        track_in_directory = system.protocol.tracks_dram_cache_in_directory
+
+        max_inserted = 0
+        for sock in system.sockets:
+            if sock.dram_cache is None:
+                continue
+            capacity_blocks = max(1, int(sock.dram_cache.num_sets * fill_fraction))
+            inserted = 0
+            for region in shared_regions:
+                base_block = layout.block_of(region["base"])
+                num_blocks = max(1, region["size"] // layout.block_size)
+                block_range = range(base_block, base_block + min(num_blocks, capacity_blocks))
+                if track_in_directory:
+                    for block in block_range:
+                        sock.dram_cache.insert(block, dirty=False)
+                        inserted += 1
+                        home = system.mapper.home_of_block(block)
+                        system.directories[home].add_sharer(block, sock.socket_id)
+                else:
+                    inserted += sock.dram_cache.bulk_insert_clean(block_range)
+            max_inserted = max(max_inserted, inserted)
+        return max_inserted
+
+    # ------------------------------------------------------------------
+    # Measurement-blackout helpers (re-exported for engines)
+    # ------------------------------------------------------------------
+
+    def scratch_stats(self):
+        """Blackout context: statistics land on a throw-away object."""
+        return scratch_stats(self.system)
+
+    def functional_timing(self):
+        """Stub context: interconnect/memory timing models return zero."""
+        return functional_timing(self.system)
+
+    # ------------------------------------------------------------------
+    # Phase accounting
+    # ------------------------------------------------------------------
+
+    def empty_result(self) -> SimulationResult:
+        """The result of a run whose workload produced no streams."""
+        return SimulationResult(self.system.stats, 0.0, 0, 0)
+
+    def core_times(self, core_ids) -> Dict[int, float]:
+        """Snapshot of each core's local clock (phase-boundary accounting)."""
+        cores = self.system.cores
+        return {core_id: cores[core_id].time for core_id in core_ids}
+
+    def finalize(
+        self, core_ids, warmup_offsets: Dict[int, float], executed: int
+    ) -> SimulationResult:
+        """Assemble the :class:`SimulationResult` of an exact measured phase."""
+        system = self.system
+        stats = system.stats
+        for core_id in core_ids:
+            stats.core_finish_ns[core_id] = (
+                system.cores[core_id].time - warmup_offsets[core_id]
+            )
+        return SimulationResult(
+            stats=stats,
+            total_time_ns=stats.total_time_ns(),
+            inter_socket_bytes=system.inter_socket_bytes(),
+            accesses_executed=executed,
+        )
+
+    # ------------------------------------------------------------------
+    # Exact phase loops (shared by the exact engines and sampled windows)
+    # ------------------------------------------------------------------
+
+    def run_phase_object(
+        self,
+        streams: Dict[int, Iterator[MemoryAccess]],
+        limit_per_core: Optional[int],
+    ) -> int:
+        """Advance every stream until exhaustion or ``limit_per_core`` accesses."""
+        system = self.system
+        classifier = system.page_classifier
+        mapper = system.mapper
+        config = system.config
+
+        heap = [(system.cores[core_id].time, core_id) for core_id in streams]
+        heapq.heapify(heap)
+        counts = {core_id: 0 for core_id in streams}
+        executed = 0
+
+        while heap:
+            _time, core_id = heapq.heappop(heap)
+            if limit_per_core is not None and counts[core_id] >= limit_per_core:
+                continue
+            try:
+                access = next(streams[core_id])
+            except StopIteration:
+                continue
+
+            core = system.cores[core_id]
+            socket_id = config.socket_of_core(core_id)
+            # NUMA placement (first touch) and page classification are driven
+            # by the raw access stream, before the caches see the access.
+            mapper.touch(access.addr, socket_id)
+            if classifier is not None:
+                classifier.record_access(core.thread_id, access.addr)
+
+            core.execute(access)
+            counts[core_id] += 1
+            executed += 1
+            if limit_per_core is None or counts[core_id] < limit_per_core:
+                heapq.heappush(heap, (core.time, core_id))
+        return executed
+
+    def run_phase_compiled(
+        self,
+        traces: Dict[int, CompiledTrace],
+        cursors: Dict[int, int],
+        limit_per_core: Optional[int],
+    ) -> int:
+        """Advance every compiled trace until exhaustion or ``limit_per_core``.
+
+        Executes the same access interleaving as :meth:`run_phase_object`
+        (smallest ``(core time, core id)`` first) with the per-access Python
+        overhead stripped out: no generator resumption, no ``MemoryAccess``
+        allocation, no address arithmetic (block/page are precomputed), a
+        single ``heappushpop`` per access instead of a push/pop pair -- and
+        no heap at all when at most two cores are active (a direct two-stream
+        merge).
+        """
+        system = self.system
+        classifier = system.page_classifier
+        record_access = classifier.record_access if classifier is not None else None
+        mapper = system.mapper
+        home_of_page = mapper.policy.home_of_page
+        touched_pages = mapper._touched_pages
+        config = system.config
+        cores = system.cores
+
+        # Per-core state tuples indexed by core id:
+        # (blocks, pages, addrs, writes, gaps, execute_fast, socket_id, thread_id)
+        states = {}
+        ends = {}
+        for core_id, trace in traces.items():
+            start = cursors[core_id]
+            end = trace.length if limit_per_core is None else min(
+                trace.length, start + limit_per_core
+            )
+            ends[core_id] = end
+            if start >= end:
+                continue
+            core = cores[core_id]
+            states[core_id] = (
+                trace.blocks,
+                trace.pages,
+                trace.addrs,
+                trace.writes,
+                trace.gaps,
+                core.execute_fast,
+                config.socket_of_core(core_id),
+                core.thread_id,
+            )
+        if not states:
+            return 0
+
+        executed = 0
+
+        def run_one(core_id: int) -> float:
+            """Execute one access of ``core_id``; returns the core's new time."""
+            blocks, pages, addrs, writes, gaps, execute_fast, socket_id, thread_id = states[
+                core_id
+            ]
+            i = cursors[core_id]
+            page = pages[i]
+            # Inlined AddressMapper.touch_page.
+            home = home_of_page(page, socket_id)
+            if page not in touched_pages:
+                touched_pages[page] = home
+            if record_access is not None:
+                record_access(thread_id, addrs[i])
+            new_time = execute_fast(blocks[i], page, writes[i], gaps[i])
+            cursors[core_id] = i + 1
+            return new_time
+
+        if len(states) <= 2:
+            # Two-stream merge: compare the two head entries directly.
+            entries = sorted((cores[cid].time, cid) for cid in states)
+            if len(entries) == 1:
+                (_t, cid), = entries
+                end = ends[cid]
+                while cursors[cid] < end:
+                    run_one(cid)
+                    executed += 1
+                return executed
+            a, b = entries
+            while True:
+                if a <= b:
+                    current, other = a, b
+                else:
+                    current, other = b, a
+                cid = current[1]
+                new_time = run_one(cid)
+                executed += 1
+                if cursors[cid] >= ends[cid]:
+                    # Drain the remaining stream alone.
+                    cid = other[1]
+                    end = ends[cid]
+                    while cursors[cid] < end:
+                        run_one(cid)
+                        executed += 1
+                    return executed
+                a, b = (new_time, cid), other
+
+        heap = [(cores[cid].time, cid) for cid in states]
+        heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+
+        current = heappop(heap)
+        while True:
+            cid = current[1]
+            # Inlined run_one (this loop executes once per simulated access).
+            blocks, pages, addrs, writes, gaps, execute_fast, socket_id, thread_id = states[
+                cid
+            ]
+            i = cursors[cid]
+            page = pages[i]
+            # Inlined AddressMapper.touch_page.
+            home = home_of_page(page, socket_id)
+            if page not in touched_pages:
+                touched_pages[page] = home
+            if record_access is not None:
+                record_access(thread_id, addrs[i])
+            new_time = execute_fast(blocks[i], page, writes[i], gaps[i])
+            i += 1
+            cursors[cid] = i
+            executed += 1
+            if i < ends[cid]:
+                current = heappushpop(heap, (new_time, cid))
+            elif heap:
+                current = heappop(heap)
+            else:
+                return executed
+
+
+class ExecutionEngine(ABC):
+    """Strategy interface: how to drive a system with a workload.
+
+    Concrete engines declare themselves through three capability flags the
+    registry, the CLI and the test matrix read (no string comparisons
+    anywhere else):
+
+    ``supports_sampling``
+        The engine consumes a :class:`~repro.stats.sampling.SamplingPlan`
+        and reports :class:`~repro.stats.sampling.SampledSimulationStats`
+        (per-metric confidence intervals) instead of bit-exact counters.
+    ``supports_trace_compile``
+        The engine materialises workload streams into
+        :class:`~repro.workloads.compiled.CompiledTrace` arrays (any
+        workload works either way; the flag describes the execution
+        representation).
+    ``deterministic``
+        Identical inputs produce bit-identical statistics.  Every built-in
+        engine is deterministic -- the results store and the golden tests
+        rely on it -- so a non-deterministic third-party engine must opt
+        out to be skipped by those layers.
+    """
+
+    #: Registry name (``engine=`` string); unique per registered engine.
+    name: str = "abstract"
+    supports_sampling: bool = False
+    supports_trace_compile: bool = True
+    deterministic: bool = True
+
+    @abstractmethod
+    def run(
+        self,
+        context: EngineContext,
+        *,
+        max_accesses_per_core: Optional[int] = None,
+        warmup_accesses_per_core: int = 0,
+    ) -> SimulationResult:
+        """Execute the workload on the context's system and return the result.
+
+        ``warmup_accesses_per_core`` accesses per core execute first with
+        full architectural effect but without counting toward the reported
+        statistics or the measured execution time; ``max_accesses_per_core``
+        bounds the measured region.  First-touch preparation and DRAM-cache
+        pre-warm have already been applied by the caller.
+        """
+
+    @classmethod
+    def capabilities(cls) -> Dict[str, bool]:
+        """The engine's capability flags as a dict (CLI/docs convenience)."""
+        return {
+            "supports_sampling": cls.supports_sampling,
+            "supports_trace_compile": cls.supports_trace_compile,
+            "deterministic": cls.deterministic,
+        }

@@ -1,0 +1,288 @@
+"""The ``sampled`` engine: SMARTS-style statistical sampling on compiled traces.
+
+The measured region is covered by a :class:`~repro.stats.sampling.SamplingPlan`'s
+units: functional **fast-forward** (state advances, no timing), detailed but
+unmeasured **warm-up**, and measured **detail** windows whose per-window
+counter deltas become the observations behind the per-metric confidence
+intervals (docs/sampling.md).
+
+The fast-forward phase runs directly on the compiled-trace batches: each
+core's slice of the trace arrays is walked with the L1 hit paths (read *and*
+write) inlined, first-touch page placement short-circuited for
+already-placed pages, and everything below the L1 routed through
+:meth:`~repro.system.socket.Socket.access_functional`, which drives the
+coherence protocols' lean state-only ``*_functional`` mirrors.  This is what
+makes fast-forward substantially cheaper per access than a detail window
+while leaving bit-identical architectural state behind
+(``tests/system/test_sampling.py`` and ``tools/check_sampling.py`` validate
+the resulting estimates against exact runs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..caches.block import CacheBlockState
+from ..stats.sampling import (
+    SampledSimulationStats,
+    SamplingPlan,
+    SamplingSummary,
+    delta_counters,
+    estimate_metrics,
+    snapshot_counters,
+)
+from ..workloads.compiled import CompiledTrace
+from .base import EngineContext, ExecutionEngine, SimulationResult
+
+__all__ = ["SampledEngine"]
+
+_MODIFIED = CacheBlockState.MODIFIED
+
+
+class SampledEngine(ExecutionEngine):
+    """Compiled detail windows + batched functional fast-forward."""
+
+    name = "sampled"
+    supports_sampling = True
+    supports_trace_compile = True
+
+    #: Accesses each core advances per turn of the functional round-robin.
+    #: Coarser than the timed engines' per-access interleave, which is fine:
+    #: fast-forward is approximate by design (no timing), and the chunking
+    #: amortises the scheduling overhead the phase exists to avoid.
+    _FUNCTIONAL_CHUNK = 32
+
+    def run(
+        self,
+        context: EngineContext,
+        *,
+        max_accesses_per_core: Optional[int] = None,
+        warmup_accesses_per_core: int = 0,
+    ) -> SimulationResult:
+        """Drive the compiled loop through the sampling plan.
+
+        The run-level warm-up (``warmup_accesses_per_core``) executes in full
+        detail with blacked-out statistics, exactly like the exact engines.
+        The measured region is then covered by the plan's units.
+
+        ``accesses_executed`` counts every access the measured region
+        *covered* (fast-forwarded, warm-up and detail alike) so that
+        accesses/second is directly comparable with an exact run over the
+        same trace.
+        """
+        system = context.system
+        traces = context.compile_streams()
+        plan = context.sample_plan
+        if not traces:
+            stats = SampledSimulationStats(
+                SamplingSummary(plan=plan or SamplingPlan())
+            )
+            system.stats = stats
+            return SimulationResult(stats, 0.0, 0, 0)
+        cursors = {core_id: 0 for core_id in traces}
+        if warmup_accesses_per_core > 0:
+            with context.scratch_stats():
+                context.run_phase_compiled(traces, cursors, warmup_accesses_per_core)
+
+        # The sampled analogue of reset_measurement(): fresh (sampled)
+        # counters, preserved cache/directory/timing state.
+        stats = SampledSimulationStats()
+        system.stats = stats
+        interconnect = system.interconnect
+        interconnect.reset_counters()
+
+        region = max(traces[cid].length - cursors[cid] for cid in traces)
+        if max_accesses_per_core is not None:
+            region = min(region, max_accesses_per_core)
+        if plan is None:
+            plan = SamplingPlan.for_region(region)
+        units = plan.units(region)
+
+        cores = system.cores
+        executed = 0
+        detail_total = 0
+        inter_socket_bytes = 0
+        detail_elapsed = {core_id: 0.0 for core_id in traces}
+        samples = []
+        for unit in units:
+            if unit.fastforward:
+                with context.scratch_stats(), context.functional_timing():
+                    executed += self.run_phase_functional(
+                        context, traces, cursors, unit.fastforward
+                    )
+            if unit.warmup:
+                with context.scratch_stats():
+                    executed += context.run_phase_compiled(traces, cursors, unit.warmup)
+            if unit.detail:
+                before = snapshot_counters(stats)
+                bytes_before = interconnect.bytes_sent
+                starts = {core_id: cores[core_id].time for core_id in traces}
+                detail_executed = context.run_phase_compiled(
+                    traces, cursors, unit.detail
+                )
+                if not detail_executed:
+                    continue  # every trace exhausted before this window
+                executed += detail_executed
+                detail_total += detail_executed
+                samples.append(delta_counters(before, snapshot_counters(stats)))
+                inter_socket_bytes += interconnect.bytes_sent - bytes_before
+                for core_id in traces:
+                    detail_elapsed[core_id] += cores[core_id].time - starts[core_id]
+
+        for core_id, elapsed in detail_elapsed.items():
+            stats.core_finish_ns[core_id] = elapsed
+        summary = SamplingSummary(
+            plan=plan,
+            detail_accesses=detail_total,
+            covered_accesses=executed,
+        )
+        if len(samples) >= 2:
+            summary.metrics = estimate_metrics(
+                samples, confidence=plan.confidence, bias_floor=plan.bias_floor
+            )
+        stats.sampling = summary
+        return SimulationResult(
+            stats=stats,
+            total_time_ns=stats.total_time_ns(),
+            inter_socket_bytes=inter_socket_bytes,
+            accesses_executed=executed,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional fast-forward on compiled-trace batches
+    # ------------------------------------------------------------------
+
+    def run_phase_functional(
+        self,
+        context: EngineContext,
+        traces: Dict[int, CompiledTrace],
+        cursors: Dict[int, int],
+        limit_per_core: Optional[int],
+    ) -> int:
+        """Advance every compiled trace functionally: state, no timing.
+
+        Each round-robin turn walks one ``_FUNCTIONAL_CHUNK``-sized slice of
+        a core's trace arrays (a single ``zip`` over the column slices --
+        no per-access indexing).  First-touch page placement and the
+        broadcast-filter classifier see every access (they are
+        order-dependent and must not skip), but the placement call is
+        short-circuited for already-placed pages (the policies are
+        idempotent, so the skip is state-identical).  L1 read hits are an
+        inlined recency update and L1 write hits to Modified lines an
+        inlined dirty-bit update; everything else goes through
+        :meth:`Socket.access_functional` -- the state-exact mirror of the
+        demand path.  Callers wrap this phase in ``scratch_stats`` and
+        ``functional_timing`` so neither statistics nor busy-until state
+        advance.
+        """
+        system = context.system
+        classifier = system.page_classifier
+        record_access = classifier.record_access if classifier is not None else None
+        mapper = system.mapper
+        home_of_page = mapper.policy.home_of_page
+        touched_pages = mapper._touched_pages
+        config = system.config
+
+        states = []
+        for core_id, trace in traces.items():
+            start = cursors[core_id]
+            end = trace.length if limit_per_core is None else min(
+                trace.length, start + limit_per_core
+            )
+            if start >= end:
+                continue
+            core = system.cores[core_id]
+            socket = system.sockets[config.socket_of_core(core_id)]
+            l1 = socket.l1s[core.local_index]
+            states.append((
+                core_id,
+                trace.blocks,
+                trace.pages,
+                trace.addrs,
+                trace.writes,
+                end,
+                core.local_index,
+                core.thread_id,
+                socket.access_functional,
+                l1._sets if getattr(l1, "_touch_moves", False) else None,
+                l1.num_sets,
+                socket.socket_id,
+                socket.llc.peek,
+            ))
+
+        executed = 0
+        chunk = self._FUNCTIONAL_CHUNK
+        active = states
+        while active:
+            next_active = []
+            for state in active:
+                (core_id, blocks, pages, addrs, writes, end,
+                 local_index, thread_id, access_functional, l1_sets,
+                 num_sets, socket_id, llc_peek) = state
+                i = cursors[core_id]
+                stop = min(end, i + chunk)
+                executed += stop - i
+                if l1_sets is None:
+                    # Non-LRU L1: every access takes the full functional path.
+                    for offset in range(i, stop):
+                        page = pages[offset]
+                        if page not in touched_pages:
+                            touched_pages[page] = home_of_page(page, socket_id)
+                        if record_access is not None:
+                            record_access(thread_id, addrs[offset])
+                        access_functional(
+                            local_index, blocks[offset], writes[offset], thread_id
+                        )
+                elif record_access is not None:
+                    for block, page, write, addr in zip(
+                        blocks[i:stop], pages[i:stop], writes[i:stop], addrs[i:stop]
+                    ):
+                        if page not in touched_pages:
+                            touched_pages[page] = home_of_page(page, socket_id)
+                        record_access(thread_id, addr)
+                        cache_set = l1_sets.get(block % num_sets)
+                        line = cache_set.get(block) if cache_set is not None else None
+                        if line is None:
+                            access_functional(local_index, block, write, thread_id)
+                        elif not write:
+                            # Inlined intrusive-LRU L1 read-hit path (recency
+                            # only; the cache's own hit counters are skipped).
+                            del cache_set[block]
+                            cache_set[block] = line
+                        elif line.state is _MODIFIED:
+                            # Inlined L1 write-hit path: recency + dirty bits.
+                            del cache_set[block]
+                            cache_set[block] = line
+                            line.dirty = True
+                            llc_line = llc_peek(block)
+                            if llc_line is not None:
+                                llc_line.dirty = True
+                        else:
+                            access_functional(local_index, block, True, thread_id)
+                else:
+                    for block, page, write in zip(
+                        blocks[i:stop], pages[i:stop], writes[i:stop]
+                    ):
+                        if page not in touched_pages:
+                            touched_pages[page] = home_of_page(page, socket_id)
+                        cache_set = l1_sets.get(block % num_sets)
+                        line = cache_set.get(block) if cache_set is not None else None
+                        if line is None:
+                            access_functional(local_index, block, write, thread_id)
+                        elif not write:
+                            del cache_set[block]
+                            cache_set[block] = line
+                        elif line.state is _MODIFIED:
+                            del cache_set[block]
+                            cache_set[block] = line
+                            line.dirty = True
+                            llc_line = llc_peek(block)
+                            if llc_line is not None:
+                                llc_line.dirty = True
+                        else:
+                            access_functional(local_index, block, True, thread_id)
+                cursors[core_id] = stop
+                if stop < end:
+                    next_active.append(state)
+            active = next_active
+        return executed

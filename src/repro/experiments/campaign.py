@@ -40,10 +40,10 @@ from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from .. import engines
 from ..stats.counters import SimulationStats
 from ..stats.store import MissingRunError, ResultsStore
 from ..system.config import PROTOCOL_NAMES
-from ..system.simulator import ENGINES
 from ..workloads.registry import WORKLOAD_SPECS
 from .common import ExperimentContext, ExperimentSettings
 from . import runner as runner_module
@@ -212,10 +212,10 @@ class CampaignSpec:
                 )
 
         engine = payload.get("engine", "compiled")
-        if engine not in ENGINES:
-            raise CampaignError(
-                f"unknown engine {engine!r}; expected one of {list(ENGINES)}"
-            )
+        try:
+            engines.validate(engine)
+        except ValueError as exc:
+            raise CampaignError(str(exc)) from None
         sweeps = tuple(
             _parse_grid(grid, settings, index)
             for index, grid in enumerate(payload.get("sweeps", ()))

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .. import engines
 from ..stats.counters import SimulationStats
 from ..stats.report import geometric_mean
 from ..stats.store import (
@@ -155,8 +156,9 @@ class ExperimentContext:
         Never simulate; raise :class:`~repro.stats.store.MissingRunError`
         for any run not already in ``store``.  Requires ``store``.
     engine:
-        Execution engine (``"compiled"`` or ``"object"``); part of the store
-        key because engines are only *verified* bit-identical, not assumed.
+        Execution engine, validated against the :mod:`repro.engines`
+        registry; part of the store key because engines are only *verified*
+        bit-identical, not assumed.
     """
 
     def __init__(
@@ -169,6 +171,7 @@ class ExperimentContext:
     ) -> None:
         if offline and store is None:
             raise ValueError("offline=True requires a results store")
+        engines.validate(engine)
         self.settings = settings or ExperimentSettings()
         self.store = store
         self.offline = offline

@@ -133,20 +133,24 @@ def sweep_point_payload(point: SweepPoint, engine: str = "compiled") -> Dict:
     content -- editing a trace in place requires ``repro campaign clean``
     (see docs/campaigns.md).
 
-    A ``sample_plan`` forces ``engine="sampled"`` into the payload and is
-    normalised to the plan's canonical JSON form, so equivalent spec strings
-    (key order, defaulted fields) share one key while any *semantic* plan
-    difference -- and the exact/sampled distinction itself -- yields a
-    different key.
+    A ``sample_plan`` switches the payload to a sampling engine -- the
+    default ``sampled`` unless the caller already named one with sampling
+    support (capability flag, so registered third-party sampling engines
+    key under their own name) -- and is normalised to the plan's canonical
+    JSON form, so equivalent spec strings (key order, defaulted fields)
+    share one key while any *semantic* plan difference -- and the
+    exact/sampled distinction itself -- yields a different key.
     """
     payload = asdict(point)
     if point.trace_dir is not None or point.scenario is not None:
         payload["workload"] = None
     if point.sample_plan is not None:
+        from .. import engines
         from ..stats.sampling import SamplingPlan
 
         payload["sample_plan"] = SamplingPlan.from_spec(point.sample_plan).to_json_dict()
-        engine = "sampled"
+        if not engines.get(engine).supports_sampling:
+            engine = "sampled"
     payload.update(kind="sweep-point", schema=STORE_SCHEMA_VERSION, engine=engine)
     return payload
 
@@ -185,10 +189,16 @@ def _run_sweep_point(point: SweepPoint, engine: str = "compiled") -> SweepResult
     )
     sample_plan = None
     if point.sample_plan is not None:
+        from .. import engines
         from ..stats.sampling import SamplingPlan
 
         sample_plan = SamplingPlan.from_spec(point.sample_plan)
-        engine = "sampled"
+        # Capability flag, not a name comparison: a caller-selected sampling
+        # engine keeps running; only non-sampling engines fall back to the
+        # default 'sampled' implementation (mirrors sweep_point_payload, so
+        # the executed engine always matches the store key).
+        if not engines.get(engine).supports_sampling:
+            engine = "sampled"
     started = time.time()
     result = Simulator(system, workload, engine=engine, sample_plan=sample_plan).run(
         warmup_accesses_per_core=point.warmup_accesses_per_thread,
@@ -244,7 +254,9 @@ def run_sweep(
 
     ``jobs=None`` or ``jobs<=1`` runs in-process (deterministic order, no
     pickling); otherwise up to ``jobs`` worker processes execute points
-    concurrently.  Results are always returned in input order.
+    concurrently.  Results are always returned in input order.  ``engine``
+    is validated against the :mod:`repro.engines` registry up front, so a
+    typo fails before any simulation starts.
 
     With a ``store``, points whose content key is already persisted are
     loaded instead of simulated, and every freshly simulated point is
@@ -252,6 +264,9 @@ def run_sweep(
     loses at most the in-flight points, and re-running it resumes from the
     completed ones (docs/campaigns.md walks through this).
     """
+    from .. import engines
+
+    engines.validate(engine)
     points = list(points)
     results: List[Optional[SweepResult]] = [None] * len(points)
 

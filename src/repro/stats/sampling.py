@@ -18,8 +18,8 @@ the (detail-window-only) counters.  ``docs/sampling.md`` documents the plan
 schema, the error-bound semantics and when *not* to sample.
 
 This module is pure statistics: the driver loop that alternates the phases
-lives in :meth:`repro.system.simulator.Simulator._run_sampled`, and the
-functional access path in :meth:`repro.system.socket.Socket`.
+lives in :class:`repro.engines.SampledEngine`, and the functional access
+path in :meth:`repro.system.socket.Socket.access_functional`.
 """
 
 from __future__ import annotations

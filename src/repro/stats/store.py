@@ -16,7 +16,11 @@ are appended as soon as each point completes:
 Statistics round-trip bit-identically (``SimulationStats.to_json_dict``),
 so results loaded from the store compare equal to freshly simulated ones.
 ``docs/campaigns.md`` documents the record format and the hash-key
-semantics (exactly what invalidates a cached point).
+semantics (exactly what invalidates a cached point).  Engine *names* (from
+the :mod:`repro.engines` registry) are part of every key payload, which
+makes them part of the persistence contract: the built-in names are stable
+and ``tests/engines/test_store_keys.py`` pins representative keys
+byte-for-byte.
 """
 
 from __future__ import annotations

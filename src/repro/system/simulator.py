@@ -1,10 +1,13 @@
-"""Trace-driven simulation driver.
+"""Trace-driven simulation driver: orchestration over pluggable engines.
 
-The driver owns the interleaving of the per-core access streams: it always
-advances the core with the smallest local clock, so memory-system resources
-(channels, links, caches, directories) observe the accesses in approximate
-global time order, which is what makes the busy-until bandwidth accounting
-and the coherence interactions meaningful.
+The :class:`Simulator` owns one run's lifecycle -- resolve the requested
+execution engine through the :mod:`repro.engines` registry, apply the
+first-touch page-placement hints and the optional DRAM-cache pre-warm, hand
+an :class:`~repro.engines.EngineContext` to the engine, and return its
+:class:`~repro.engines.SimulationResult`.  How the access streams actually
+drive the machine (object-at-a-time, compiled arrays, statistical sampling)
+is entirely the engine's business; see :mod:`repro.engines` and
+docs/architecture.md ("Execution engines").
 
 A simulation optionally starts with a warm-up phase (the paper warms the
 DRAM caches with 100 M accesses before measuring); at the end of warm-up the
@@ -13,105 +16,21 @@ statistics are reset while all cache/directory contents are preserved.
 
 from __future__ import annotations
 
-import heapq
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Optional
 
-from ..stats.counters import SimulationStats
-from ..stats.sampling import (
-    SampledSimulationStats,
-    SamplingPlan,
-    SamplingSummary,
-    delta_counters,
-    estimate_metrics,
-    snapshot_counters,
-)
-from ..workloads.compiled import CompiledTrace, compile_trace
-from ..workloads.trace import MemoryAccess
-from .numa_system import NumaSystem
+from .. import engines
+from ..engines import EngineContext, SimulationResult
+from ..stats.sampling import SamplingPlan
 
 __all__ = ["Simulator", "SimulationResult", "ENGINES"]
 
-#: Supported execution engines.  ``compiled`` materialises per-core traces
-#: into flat arrays and runs the lean dispatch loop; ``object`` is the legacy
-#: one-``MemoryAccess``-at-a-time generator path kept for equivalence
-#: testing; ``sampled`` drives the compiled loop through a
-#: :class:`~repro.stats.sampling.SamplingPlan` (fast-forward / warmup /
-#: detail alternation with per-metric confidence intervals --
-#: docs/sampling.md).
-ENGINES = ("compiled", "object", "sampled")
 
-
-@contextmanager
-def _scratch_stats(system: NumaSystem):
-    """Swap the system statistics for a throw-away object, then restore.
-
-    Everything in the machine reaches the counters through ``system.stats``
-    dynamically (sockets, cores and protocols all read the attribute per
-    access), so a swap is a complete measurement blackout: warm-up windows
-    advance every architectural and timing structure while the measured
-    counters stay untouched.
-    """
-    real = system.stats
-    system.stats = SimulationStats()
-    try:
-        yield
-    finally:
-        system.stats = real
-
-
-@contextmanager
-def _functional_timing(system: NumaSystem):
-    """Stub the timing models out while leaving every state update intact.
-
-    Inside this context the interconnect's ``send`` and each memory
-    controller's ``read_fast``/``write_fast`` return zero latency and mutate
-    no busy-until bandwidth state, so the coherence protocols can run their
-    normal (state-exact) transaction logic during fast-forward without
-    polluting channel/link occupancy for the detailed windows that follow.
-    """
-
-    def _zero_send(now, src, dst, message_class):
-        return 0.0
-
-    def _zero_memory(now, block):
-        return 0.0
-
-    interconnect = system.interconnect
-    protocol = system.protocol
-    saved_send = interconnect.send
-    saved_protocol_send = protocol._net_send
-    interconnect.send = _zero_send
-    protocol._net_send = _zero_send
-    saved_memory = []
-    for sock in system.sockets:
-        memory = sock.memory
-        saved_memory.append((memory, memory.read_fast, memory.write_fast))
-        memory.read_fast = _zero_memory
-        memory.write_fast = _zero_memory
-    try:
-        yield
-    finally:
-        interconnect.send = saved_send
-        protocol._net_send = saved_protocol_send
-        for memory, read_fast, write_fast in saved_memory:
-            memory.read_fast = read_fast
-            memory.write_fast = write_fast
-
-
-@dataclass
-class SimulationResult:
-    """Everything an experiment needs from one simulation run."""
-
-    stats: SimulationStats
-    total_time_ns: float
-    inter_socket_bytes: int
-    accesses_executed: int
-
-    @property
-    def amat_ns(self) -> float:
-        return self.stats.amat_ns()
+def __getattr__(name: str):
+    # ``ENGINES`` predates the registry; keep it importable (and live) for
+    # backward compatibility.  New code should call ``engines.names()``.
+    if name == "ENGINES":
+        return engines.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Simulator:
@@ -119,23 +38,25 @@ class Simulator:
 
     def __init__(
         self,
-        system: NumaSystem,
+        system,
         workload,
         *,
         engine: str = "compiled",
         sample_plan: Optional[SamplingPlan] = None,
     ) -> None:
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-        if sample_plan is not None and engine != "sampled":
+        #: Resolved engine instance (registry authority -- unknown names
+        #: raise a ``ValueError`` listing the registered engines).
+        self.engine_impl = engines.get(engine)()
+        if sample_plan is not None and not self.engine_impl.supports_sampling:
             raise ValueError(
-                f"sample_plan requires engine='sampled', got engine={engine!r}"
+                f"sample_plan requires an engine with sampling support "
+                f"(e.g. 'sampled'), got engine={engine!r}"
             )
         self.system = system
         self.workload = workload
         self.engine = engine
-        #: Plan for the ``sampled`` engine; ``None`` derives one from the
-        #: measured-region length (:meth:`SamplingPlan.for_region`).
+        #: Plan for sampling engines; ``None`` derives one from the measured
+        #: region length (:meth:`SamplingPlan.for_region`).
         self.sample_plan = sample_plan
 
     # ------------------------------------------------------------------
@@ -158,538 +79,25 @@ class Simulator:
         run starts (the affordable equivalent of the paper's 100 M-access
         warm-up phase; see :meth:`prewarm_dram_caches`).
         """
-        self._prepare_first_touch()
+        context = self._context()
+        context.prepare_first_touch()
         if prewarm:
-            self.prewarm_dram_caches()
-        if self.engine == "sampled":
-            return self._run_sampled(
-                max_accesses_per_core=max_accesses_per_core,
-                warmup_accesses_per_core=warmup_accesses_per_core,
-            )
-        if self.engine == "compiled":
-            traces = self._compile_streams()
-            if not traces:
-                return SimulationResult(self.system.stats, 0.0, 0, 0)
-            cursors = {core_id: 0 for core_id in traces}
-            if warmup_accesses_per_core > 0:
-                self._run_phase_compiled(traces, cursors, warmup_accesses_per_core)
-                self.system.reset_measurement()
-            streams = traces
-        else:
-            streams = self._open_streams()
-            if not streams:
-                return SimulationResult(self.system.stats, 0.0, 0, 0)
-            if warmup_accesses_per_core > 0:
-                self._run_phase(streams, warmup_accesses_per_core)
-                self.system.reset_measurement()
-        warmup_offsets = {core_id: self.system.cores[core_id].time for core_id in streams}
-
-        if self.engine == "compiled":
-            executed = self._run_phase_compiled(traces, cursors, max_accesses_per_core)
-        else:
-            executed = self._run_phase(streams, max_accesses_per_core)
-
-        stats = self.system.stats
-        for core_id in streams:
-            core = self.system.cores[core_id]
-            stats.core_finish_ns[core_id] = core.time - warmup_offsets[core_id]
-        return SimulationResult(
-            stats=stats,
-            total_time_ns=stats.total_time_ns(),
-            inter_socket_bytes=self.system.inter_socket_bytes(),
-            accesses_executed=executed,
+            context.prewarm_dram_caches()
+        return self.engine_impl.run(
+            context,
+            max_accesses_per_core=max_accesses_per_core,
+            warmup_accesses_per_core=warmup_accesses_per_core,
         )
 
-    # ------------------------------------------------------------------
-    # Warm-up helpers
-    # ------------------------------------------------------------------
-
     def prewarm_dram_caches(self, *, fill_fraction: float = 1.0) -> int:
-        """Functionally pre-load the DRAM caches with the workload's shared data.
-
-        The paper warms its DRAM caches with 100 million accesses before
-        measuring; replaying that many accesses is not affordable here, so
-        the equivalent steady-state content is installed directly: each
-        socket's DRAM cache is filled with blocks of the shared regions (cold
-        first, then warm, then hot, so that the hottest data wins
-        direct-mapped conflicts), up to ``fill_fraction`` of its capacity.
-        For directory designs that track DRAM-cache residency (full-dir and
-        c3d-full-dir) the pre-loaded blocks are also registered as sharers so
-        the directory stays a superset of reality.
-
-        Returns the largest number of blocks inserted into any single cache.
-        """
-        system = self.system
-        if not system.protocol.uses_dram_cache:
-            return 0
-        regions_fn = getattr(self.workload, "memory_regions", None)
-        if regions_fn is None:
-            return 0
-        layout = system.layout
-        shared_regions = [r for r in regions_fn() if r.get("owner_thread") is None]
-        # Least important first so the hottest regions win conflicts.
-        order = {"cold": 0, "warm": 1, "hot": 2}
-        shared_regions.sort(key=lambda r: order.get(r["kind"], 0))
-        track_in_directory = system.protocol.tracks_dram_cache_in_directory
-
-        max_inserted = 0
-        for sock in system.sockets:
-            if sock.dram_cache is None:
-                continue
-            capacity_blocks = max(1, int(sock.dram_cache.num_sets * fill_fraction))
-            inserted = 0
-            for region in shared_regions:
-                base_block = layout.block_of(region["base"])
-                num_blocks = max(1, region["size"] // layout.block_size)
-                block_range = range(base_block, base_block + min(num_blocks, capacity_blocks))
-                if track_in_directory:
-                    for block in block_range:
-                        sock.dram_cache.insert(block, dirty=False)
-                        inserted += 1
-                        home = system.mapper.home_of_block(block)
-                        system.directories[home].add_sharer(block, sock.socket_id)
-                else:
-                    inserted += sock.dram_cache.bulk_insert_clean(block_range)
-            max_inserted = max(max_inserted, inserted)
-        return max_inserted
+        """Pre-load the DRAM caches (see :meth:`EngineContext.prewarm_dram_caches`)."""
+        return self._context().prewarm_dram_caches(fill_fraction=fill_fraction)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _prepare_first_touch(self) -> None:
-        """Model the first-touch policies' page placement.
-
-        * **FT1**: the pages touched by the (single-threaded) initialisation
-          phase are all homed at socket 0 before the parallel region starts
-          (this is why the paper found FT1 to perform poorly).
-        * **FT2 / first_touch**: placement reflects steady state -- the
-          measured window starts long after the data set was allocated, so
-          private pages are homed at their owning thread's socket and shared
-          pages are spread (pseudo-uniformly, by page number) across the
-          sockets.  Pages not described by the workload's
-          :meth:`memory_regions` hint still follow plain dynamic first touch.
-
-        The interleave policy ignores both hints.
-        """
-        policy_name = self.system.config.allocation_policy.lower()
-        pin = getattr(self.system.policy, "pin_page", None)
-        if pin is None:
-            return
-
-        if policy_name == "ft1":
-            pages = getattr(self.workload, "serial_init_pages", None)
-            if pages is None:
-                return
-            for page in pages():
-                pin(page, 0)
-            return
-
-        if policy_name in ("ft2", "first_touch", "first-touch"):
-            regions = getattr(self.workload, "memory_regions", None)
-            if regions is None:
-                return
-            layout = self.system.layout
-            config = self.system.config
-            num_sockets = config.num_sockets
-            for region in regions():
-                first_page = layout.page_of(region["base"])
-                num_pages = max(1, region["size"] // layout.page_size)
-                owner_thread = region.get("owner_thread")
-                if owner_thread is not None:
-                    core = owner_thread % config.total_cores
-                    home = config.socket_of_core(core)
-                    for page in range(first_page, first_page + num_pages):
-                        pin(page, home)
-                else:
-                    for page in range(first_page, first_page + num_pages):
-                        pin(page, page % num_sockets)
-
-    def _open_streams(self) -> Dict[int, Iterator[MemoryAccess]]:
-        """Create one access iterator per active core."""
-        num_threads = min(self.workload.num_threads, self.system.num_cores)
-        return {
-            thread_id: iter(self.workload.stream(thread_id))
-            for thread_id in range(num_threads)
-        }
-
-    def _compile_streams(self) -> Dict[int, CompiledTrace]:
-        """Materialise one compiled trace per active core."""
-        num_threads = min(self.workload.num_threads, self.system.num_cores)
-        layout = self.system.layout
-        return {
-            thread_id: compile_trace(self.workload, thread_id, layout=layout)
-            for thread_id in range(num_threads)
-        }
-
-    def _run_phase_compiled(
-        self,
-        traces: Dict[int, CompiledTrace],
-        cursors: Dict[int, int],
-        limit_per_core: Optional[int],
-    ) -> int:
-        """Advance every compiled trace until exhaustion or ``limit_per_core``.
-
-        Executes the same access interleaving as :meth:`_run_phase` (smallest
-        ``(core time, core id)`` first) with the per-access Python overhead
-        stripped out: no generator resumption, no ``MemoryAccess`` allocation,
-        no address arithmetic (block/page are precomputed), a single
-        ``heappushpop`` per access instead of a push/pop pair -- and no heap
-        at all when at most two cores are active (a direct two-stream merge).
-        """
-        system = self.system
-        classifier = system.page_classifier
-        record_access = classifier.record_access if classifier is not None else None
-        mapper = system.mapper
-        home_of_page = mapper.policy.home_of_page
-        touched_pages = mapper._touched_pages
-        config = system.config
-        cores = system.cores
-
-        # Per-core state tuples indexed by core id:
-        # (blocks, pages, addrs, writes, gaps, execute_fast, socket_id, thread_id)
-        states = {}
-        ends = {}
-        for core_id, trace in traces.items():
-            start = cursors[core_id]
-            end = trace.length if limit_per_core is None else min(
-                trace.length, start + limit_per_core
-            )
-            ends[core_id] = end
-            if start >= end:
-                continue
-            core = cores[core_id]
-            states[core_id] = (
-                trace.blocks,
-                trace.pages,
-                trace.addrs,
-                trace.writes,
-                trace.gaps,
-                core.execute_fast,
-                config.socket_of_core(core_id),
-                core.thread_id,
-            )
-        if not states:
-            return 0
-
-        executed = 0
-
-        def run_one(core_id: int) -> float:
-            """Execute one access of ``core_id``; returns the core's new time."""
-            blocks, pages, addrs, writes, gaps, execute_fast, socket_id, thread_id = states[
-                core_id
-            ]
-            i = cursors[core_id]
-            page = pages[i]
-            # Inlined AddressMapper.touch_page.
-            home = home_of_page(page, socket_id)
-            if page not in touched_pages:
-                touched_pages[page] = home
-            if record_access is not None:
-                record_access(thread_id, addrs[i])
-            new_time = execute_fast(blocks[i], page, writes[i], gaps[i])
-            cursors[core_id] = i + 1
-            return new_time
-
-        if len(states) <= 2:
-            # Two-stream merge: compare the two head entries directly.
-            entries = sorted((cores[cid].time, cid) for cid in states)
-            if len(entries) == 1:
-                (_t, cid), = entries
-                end = ends[cid]
-                while cursors[cid] < end:
-                    run_one(cid)
-                    executed += 1
-                return executed
-            a, b = entries
-            while True:
-                if a <= b:
-                    current, other = a, b
-                else:
-                    current, other = b, a
-                cid = current[1]
-                new_time = run_one(cid)
-                executed += 1
-                if cursors[cid] >= ends[cid]:
-                    # Drain the remaining stream alone.
-                    cid = other[1]
-                    end = ends[cid]
-                    while cursors[cid] < end:
-                        run_one(cid)
-                        executed += 1
-                    return executed
-                a, b = (new_time, cid), other
-
-        heap = [(cores[cid].time, cid) for cid in states]
-        heapq.heapify(heap)
-        heappop = heapq.heappop
-        heappushpop = heapq.heappushpop
-
-        current = heappop(heap)
-        while True:
-            cid = current[1]
-            # Inlined run_one (this loop executes once per simulated access).
-            blocks, pages, addrs, writes, gaps, execute_fast, socket_id, thread_id = states[
-                cid
-            ]
-            i = cursors[cid]
-            page = pages[i]
-            # Inlined AddressMapper.touch_page.
-            home = home_of_page(page, socket_id)
-            if page not in touched_pages:
-                touched_pages[page] = home
-            if record_access is not None:
-                record_access(thread_id, addrs[i])
-            new_time = execute_fast(blocks[i], page, writes[i], gaps[i])
-            i += 1
-            cursors[cid] = i
-            executed += 1
-            if i < ends[cid]:
-                current = heappushpop(heap, (new_time, cid))
-            elif heap:
-                current = heappop(heap)
-            else:
-                return executed
-
-    # ------------------------------------------------------------------
-    # Sampled execution (docs/sampling.md)
-    # ------------------------------------------------------------------
-
-    def _run_sampled(
-        self,
-        *,
-        max_accesses_per_core: Optional[int],
-        warmup_accesses_per_core: int,
-    ) -> SimulationResult:
-        """Drive the compiled loop through the sampling plan.
-
-        The run-level warm-up (``warmup_accesses_per_core``) executes in full
-        detail with blacked-out statistics, exactly like the exact engines.
-        The measured region is then covered by the plan's units: functional
-        fast-forward (state advances, no timing), detailed-but-unmeasured
-        warm-up, and measured detail windows whose per-window counter deltas
-        become the observations behind the per-metric confidence intervals.
-
-        ``accesses_executed`` counts every access the measured region
-        *covered* (fast-forwarded, warm-up and detail alike) so that
-        accesses/second is directly comparable with an exact run over the
-        same trace.
-        """
-        system = self.system
-        traces = self._compile_streams()
-        plan = self.sample_plan
-        if not traces:
-            stats = SampledSimulationStats(
-                SamplingSummary(plan=plan or SamplingPlan())
-            )
-            system.stats = stats
-            return SimulationResult(stats, 0.0, 0, 0)
-        cursors = {core_id: 0 for core_id in traces}
-        if warmup_accesses_per_core > 0:
-            with _scratch_stats(system):
-                self._run_phase_compiled(traces, cursors, warmup_accesses_per_core)
-
-        # The sampled analogue of reset_measurement(): fresh (sampled)
-        # counters, preserved cache/directory/timing state.
-        stats = SampledSimulationStats()
-        system.stats = stats
-        interconnect = system.interconnect
-        interconnect.reset_counters()
-
-        region = max(traces[cid].length - cursors[cid] for cid in traces)
-        if max_accesses_per_core is not None:
-            region = min(region, max_accesses_per_core)
-        if plan is None:
-            plan = SamplingPlan.for_region(region)
-        units = plan.units(region)
-
-        cores = system.cores
-        executed = 0
-        detail_total = 0
-        inter_socket_bytes = 0
-        detail_elapsed = {core_id: 0.0 for core_id in traces}
-        samples = []
-        for unit in units:
-            if unit.fastforward:
-                with _scratch_stats(system), _functional_timing(system):
-                    executed += self._run_phase_functional(
-                        traces, cursors, unit.fastforward
-                    )
-            if unit.warmup:
-                with _scratch_stats(system):
-                    executed += self._run_phase_compiled(traces, cursors, unit.warmup)
-            if unit.detail:
-                before = snapshot_counters(stats)
-                bytes_before = interconnect.bytes_sent
-                starts = {core_id: cores[core_id].time for core_id in traces}
-                detail_executed = self._run_phase_compiled(
-                    traces, cursors, unit.detail
-                )
-                if not detail_executed:
-                    continue  # every trace exhausted before this window
-                executed += detail_executed
-                detail_total += detail_executed
-                samples.append(delta_counters(before, snapshot_counters(stats)))
-                inter_socket_bytes += interconnect.bytes_sent - bytes_before
-                for core_id in traces:
-                    detail_elapsed[core_id] += cores[core_id].time - starts[core_id]
-
-        for core_id, elapsed in detail_elapsed.items():
-            stats.core_finish_ns[core_id] = elapsed
-        summary = SamplingSummary(
-            plan=plan,
-            detail_accesses=detail_total,
-            covered_accesses=executed,
+    def _context(self) -> EngineContext:
+        return EngineContext(
+            self.system, self.workload, sample_plan=self.sample_plan
         )
-        if len(samples) >= 2:
-            summary.metrics = estimate_metrics(
-                samples, confidence=plan.confidence, bias_floor=plan.bias_floor
-            )
-        stats.sampling = summary
-        return SimulationResult(
-            stats=stats,
-            total_time_ns=stats.total_time_ns(),
-            inter_socket_bytes=inter_socket_bytes,
-            accesses_executed=executed,
-        )
-
-    #: Accesses each core advances per turn of the functional round-robin.
-    #: Coarser than the timed engines' per-access interleave, which is fine:
-    #: fast-forward is approximate by design (no timing), and the chunking
-    #: amortises the scheduling overhead the phase exists to avoid.
-    _FUNCTIONAL_CHUNK = 32
-
-    def _run_phase_functional(
-        self,
-        traces: Dict[int, CompiledTrace],
-        cursors: Dict[int, int],
-        limit_per_core: Optional[int],
-    ) -> int:
-        """Advance every compiled trace functionally: state, no timing.
-
-        First-touch page placement and the broadcast-filter classifier see
-        every access (they are order-dependent and must not skip), the L1 hit
-        path is an inlined recency update, and everything below the L1 goes
-        through :meth:`Socket.access_functional` -- the state-exact mirror of
-        the demand path.  Callers wrap this phase in ``_scratch_stats`` and
-        ``_functional_timing`` so neither statistics nor busy-until state
-        advance.
-        """
-        system = self.system
-        classifier = system.page_classifier
-        record_access = classifier.record_access if classifier is not None else None
-        mapper = system.mapper
-        home_of_page = mapper.policy.home_of_page
-        touched_pages = mapper._touched_pages
-        config = system.config
-
-        states = []
-        for core_id, trace in traces.items():
-            start = cursors[core_id]
-            end = trace.length if limit_per_core is None else min(
-                trace.length, start + limit_per_core
-            )
-            if start >= end:
-                continue
-            core = system.cores[core_id]
-            socket = system.sockets[config.socket_of_core(core_id)]
-            l1 = socket.l1s[core.local_index]
-            states.append((
-                core_id,
-                trace.blocks,
-                trace.pages,
-                trace.addrs,
-                trace.writes,
-                end,
-                core.local_index,
-                core.thread_id,
-                socket.access_functional,
-                l1._sets if getattr(l1, "_touch_moves", False) else None,
-                l1.num_sets,
-                socket.socket_id,
-            ))
-
-        executed = 0
-        chunk = self._FUNCTIONAL_CHUNK
-        active = states
-        while active:
-            next_active = []
-            for state in active:
-                (core_id, blocks, pages, addrs, writes, end,
-                 local_index, thread_id, access_functional, l1_sets,
-                 num_sets, socket_id) = state
-                i = cursors[core_id]
-                stop = min(end, i + chunk)
-                executed += stop - i
-                while i < stop:
-                    page = pages[i]
-                    # Inlined AddressMapper.touch_page (order-dependent).
-                    home = home_of_page(page, socket_id)
-                    if page not in touched_pages:
-                        touched_pages[page] = home
-                    if record_access is not None:
-                        record_access(thread_id, addrs[i])
-                    block = blocks[i]
-                    if writes[i]:
-                        # Writes (and every L1 miss below) take the full
-                        # functional path, which keeps dirty bits and
-                        # coherence state exactly as the demand path would.
-                        access_functional(local_index, block, True, thread_id)
-                    elif l1_sets is not None:
-                        # Inlined intrusive-LRU L1 read-hit path (recency
-                        # only; the cache's own hit counters are skipped).
-                        cache_set = l1_sets.get(block % num_sets)
-                        line = cache_set.get(block) if cache_set is not None else None
-                        if line is not None:
-                            del cache_set[block]
-                            cache_set[block] = line
-                        else:
-                            access_functional(local_index, block, False, thread_id)
-                    else:
-                        access_functional(local_index, block, False, thread_id)
-                    i += 1
-                cursors[core_id] = i
-                if i < end:
-                    next_active.append(state)
-            active = next_active
-        return executed
-
-    def _run_phase(
-        self,
-        streams: Dict[int, Iterator[MemoryAccess]],
-        limit_per_core: Optional[int],
-    ) -> int:
-        """Advance every stream until exhaustion or ``limit_per_core`` accesses."""
-        system = self.system
-        classifier = system.page_classifier
-        mapper = system.mapper
-        config = system.config
-
-        heap = [(system.cores[core_id].time, core_id) for core_id in streams]
-        heapq.heapify(heap)
-        counts = {core_id: 0 for core_id in streams}
-        executed = 0
-
-        while heap:
-            _time, core_id = heapq.heappop(heap)
-            if limit_per_core is not None and counts[core_id] >= limit_per_core:
-                continue
-            try:
-                access = next(streams[core_id])
-            except StopIteration:
-                continue
-
-            core = system.cores[core_id]
-            socket_id = config.socket_of_core(core_id)
-            # NUMA placement (first touch) and page classification are driven
-            # by the raw access stream, before the caches see the access.
-            mapper.touch(access.addr, socket_id)
-            if classifier is not None:
-                classifier.record_access(core.thread_id, access.addr)
-
-            core.execute(access)
-            counts[core_id] += 1
-            executed += 1
-            if limit_per_core is None or counts[core_id] < limit_per_core:
-                heapq.heappush(heap, (core.time, core_id))
-        return executed

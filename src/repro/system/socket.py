@@ -230,16 +230,16 @@ class Socket:
         """Functional-only access: advance cache/directory state, no timing.
 
         Used by the sampled engine's fast-forward segments
-        (:meth:`repro.system.simulator.Simulator._run_phase_functional`).
-        The *state* transitions mirror :meth:`access` exactly -- L1/LLC
-        recency and fills, local-directory bookkeeping, and the global
-        protocol's directory/DRAM-cache updates (invoked through the normal
-        ``read_miss``/``write_miss`` entry points, which the caller has put
-        into functional mode: interconnect sends and memory accesses are
-        stubbed to zero latency so no busy-until timing state advances).
-        Latencies are discarded and statistics land on the scratch counters
-        the caller installed, so a fast-forward leaves the measured
-        statistics untouched while every cache stays warm.
+        (:meth:`repro.engines.SampledEngine` drives it through
+        ``EngineContext.run_phase_functional``).  The *state* transitions
+        mirror :meth:`access` exactly -- L1/LLC recency and fills,
+        local-directory bookkeeping, and the global protocol's
+        directory/DRAM-cache updates, invoked through the protocol's
+        ``*_functional`` state-only mirrors (whose generic fallback runs the
+        timed entry points under the functional-timing stubs the caller has
+        installed).  Latencies are discarded and statistics land on the
+        scratch counters the caller installed, so a fast-forward leaves the
+        measured statistics untouched while every cache stays warm.
         """
         l1 = self.l1s[core_index]
         line = l1.lookup(block)
@@ -260,21 +260,21 @@ class Socket:
             if llc_line.state is _MODIFIED:
                 self._local_write_update(core_index, block)
                 return
-            self.protocol.write_miss(
-                0.0, self.socket_id, block,
+            self.protocol.write_miss_functional(
+                self.socket_id, block,
                 thread_id=thread_id, has_shared_copy=True,
             )
             llc.set_state(block, _MODIFIED, dirty=True)
             self._local_write_update(core_index, block)
             return
         if is_write:
-            self.protocol.write_miss(
-                0.0, self.socket_id, block,
+            self.protocol.write_miss_functional(
+                self.socket_id, block,
                 thread_id=thread_id, has_shared_copy=False,
             )
         else:
-            self.protocol.read_miss(0.0, self.socket_id, block)
-        self._fill(0.0, core_index, block, modified=is_write)
+            self.protocol.read_miss_functional(self.socket_id, block)
+        self._fill_functional(core_index, block, modified=is_write)
 
     # ------------------------------------------------------------------
     # Intra-socket mechanics
@@ -344,6 +344,23 @@ class Socket:
         victim = self.llc.insert(block, state, dirty=modified)
         if victim is not None:
             self._handle_llc_victim(now, victim.block, victim.dirty)
+        self._fill_l1(core_index, block, modified=modified)
+
+    def _fill_functional(self, core_index: int, block: int, *, modified: bool) -> None:
+        """State-only :meth:`_fill`: victims go to the protocol's functional mirror."""
+        state = _MODIFIED if modified else _SHARED
+        victim = self.llc.insert(block, state, dirty=modified)
+        if victim is not None:
+            victim_block = victim.block
+            victim_dirty = victim.dirty
+            cores_with_copy = self.local_directory.invalidate_block(victim_block)
+            for core in cores_with_copy:
+                line = self.l1s[core].invalidate(victim_block)
+                if line is not None and line.dirty:
+                    victim_dirty = True
+            self.protocol.llc_eviction_functional(
+                self.socket_id, victim_block, dirty=victim_dirty
+            )
         self._fill_l1(core_index, block, modified=modified)
 
     def _handle_llc_victim(self, now: float, victim_block: int, dirty: bool) -> None:

@@ -4,7 +4,7 @@ Since PR 1 the ``compiled`` engine is the simulator's *default* execution
 path: every per-thread access stream is materialised into a
 :class:`CompiledTrace` -- flat parallel columns of byte address, write flag
 and instruction gap, plus *precomputed* block and page numbers -- that
-:meth:`Simulator._run_phase_compiled` consumes by index.  The columns are
+:meth:`EngineContext.run_phase_compiled` consumes by index.  The columns are
 plain Python lists of ints/bools (converted once from vectorised numpy
 batches), which is the fastest indexed representation for a pure-Python
 consumer.  The one-``MemoryAccess``-dataclass-at-a-time generator path

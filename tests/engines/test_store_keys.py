@@ -1,0 +1,56 @@
+"""Store-key stability: engine names are part of the persistence contract.
+
+The results store keys (docs/campaigns.md) hash the engine *name* along with
+everything else that determines a simulation's outcome.  The engine-registry
+refactor must not move existing stored results: these hashes were computed
+on the pre-refactor tree and pin the exact byte-level keys for
+representative object / compiled / sampled points.  If one of these fails,
+either something outcome-relevant leaked into the payloads (bump
+``STORE_SCHEMA_VERSION`` instead) or an engine was renamed (don't -- the
+built-in names are stable).
+"""
+
+from repro.experiments.common import ExperimentContext, ExperimentSettings
+from repro.experiments.runner import SweepPoint, sweep_point_key
+from repro.stats.store import content_key
+
+#: Byte-identical SHA-256 content keys captured before the engines/ refactor.
+PINNED_SWEEP_KEYS = {
+    ("default", "compiled"):
+        "0af8e31a3bc083c240599c2e8f10ef02f0b7b6bb8f0d72335a2920566b2ea887",
+    ("default", "object"):
+        "b7b8a079965122f20a74637386671d5d5763298fa7f6c80bb4dc8e1252fb3996",
+    ("sampled-plan", "compiled"):
+        "206cba204ea870578ae7172eea52431cc49ad0df999ef5d3d7a3705308e17d09",
+    ("scenario", "compiled"):
+        "3aa16f280ee2144279c2b2a5bc6729b945971fa76432de65e810049a27325eb0",
+}
+
+PINNED_CONTEXT_KEYS = {
+    "object": "976441b0ec85f44673c2a65150bee7cd01fb69a2e32267b101c57df439e6299d",
+    "compiled": "2e921aa77677b244c3fc1de0c584542563fe7917396de6483c7b1fab9d021ec2",
+}
+
+
+def _point(kind: str) -> SweepPoint:
+    if kind == "default":
+        return SweepPoint()
+    if kind == "sampled-plan":
+        # A sample_plan forces engine="sampled" into the payload regardless
+        # of the engine argument (see sweep_point_payload).
+        return SweepPoint(sample_plan="units=8,detail=150,warmup=100")
+    assert kind == "scenario"
+    return SweepPoint(scenario="het-quad")
+
+
+def test_sweep_point_keys_are_byte_identical_to_pre_refactor():
+    for (kind, engine), expected in PINNED_SWEEP_KEYS.items():
+        assert sweep_point_key(_point(kind), engine) == expected, (kind, engine)
+
+
+def test_context_run_keys_are_byte_identical_to_pre_refactor():
+    for engine, expected in PINNED_CONTEXT_KEYS.items():
+        context = ExperimentContext(ExperimentSettings.quick(), engine=engine)
+        config = context.make_config("c3d")
+        key = content_key(context.store_payload("facesim", "c3d", config))
+        assert key == expected, engine

@@ -1,65 +1,227 @@
-"""Golden equivalence: the compiled engine must match the object engine.
+"""Engine equivalence: every registered engine against the reference engine.
 
-The compiled (array-backed) engine is a pure performance transformation of
-the legacy object-stream engine: same access interleaving, same architectural
-effects, same statistics -- bit for bit.  These tests run a small facesim
-workload through both engines and assert that every reported counter (and
-the derived floats, which are sensitive to operation order) is identical.
+The ``object`` engine is the semantic reference (the seed-style
+one-``MemoryAccess``-at-a-time path).  Every *exact* engine in the registry
+must match it bit for bit -- every reported counter, and the derived floats,
+which are sensitive to operation order.  *Sampling* engines
+(``supports_sampling``) cannot be bit-identical by design; they instead
+prove that the exact run's value lies inside every reported confidence
+interval (the same containment contract ``tools/check_sampling.py``
+validates at full width).
+
+The matrix runs over the registry (``engines.names()``) crossed with the
+three workload frontends -- synthetic registry benchmarks, composed
+scenarios, and recorded trace-directory replays -- so a newly registered
+engine is pulled into the proof automatically.
 """
+
+import importlib.util
+from pathlib import Path
 
 import pytest
 
+from repro import engines
+from repro.stats.sampling import SamplingPlan
 from repro.system.config import SystemConfig
 from repro.system.numa_system import NumaSystem
 from repro.system.simulator import Simulator
 from repro.workloads.compiled import compile_trace
 from repro.workloads.registry import make_workload
+from repro.workloads.scenario import build_workload
+from repro.workloads.trace_io import record_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_spec = importlib.util.spec_from_file_location(
+    "check_sampling", REPO_ROOT / "tools" / "check_sampling.py"
+)
+check_sampling = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_sampling)
 
 SCALE = 1024
 ACCESSES = 300
 WARMUP = 100
 
+REFERENCE_ENGINE = "object"
 
-def run_engine(protocol: str, engine: str, *, warmup: int = 0, prewarm: bool = True):
+#: Containment plan for sampling engines in the workload-kind matrix: wide
+#: on purpose (99% confidence + bias floor) -- the matrix proves the
+#: contract holds on every frontend, tools/check_sampling.py measures how
+#: tight the intervals are.
+SAMPLING_PLAN = SamplingPlan(
+    num_units=3, detail=40, warmup=25, confidence=0.99, bias_floor=0.05, seed=7
+)
+
+WORKLOAD_KINDS = ("synthetic", "scenario", "trace-replay")
+
+
+def exact_engine_names():
+    """Registered engines that promise bit-exact statistics."""
+    return [
+        name for name in engines.names() if not engines.get(name).supports_sampling
+    ]
+
+
+def engines_under_test():
+    """Exact engines compared against the reference (which needs no self-test)."""
+    return [name for name in exact_engine_names() if name != REFERENCE_ENGINE]
+
+
+#: Reference runs are deterministic; share one per (protocol, warmup) so the
+#: slowest engine is not re-simulated for every parametrized comparison.
+_reference_cache = {}
+
+
+def run_engine(protocol: str, engine: str, *, warmup: int = 0, prewarm: bool = True,
+               sample_plan=None):
     config = SystemConfig.quad_socket(protocol=protocol).scaled(SCALE)
     system = NumaSystem(config)
     workload = make_workload(
         "facesim", scale=SCALE, accesses_per_thread=ACCESSES,
         num_threads=config.total_cores,
     )
-    simulator = Simulator(system, workload, engine=engine)
+    simulator = Simulator(system, workload, engine=engine, sample_plan=sample_plan)
     result = simulator.run(prewarm=prewarm, warmup_accesses_per_core=warmup)
     return result
 
 
+def reference_run(protocol: str, *, warmup: int = 0):
+    key = (protocol, warmup)
+    if key not in _reference_cache:
+        _reference_cache[key] = run_engine(protocol, REFERENCE_ENGINE, warmup=warmup)
+    return _reference_cache[key]
+
+
+def assert_bit_identical(reference, other):
+    assert other.accesses_executed == reference.accesses_executed
+    assert other.inter_socket_bytes == reference.inter_socket_bytes
+    # Exact float equality is intended: same operation order, same results.
+    assert other.total_time_ns == reference.total_time_ns
+    assert other.stats.as_dict() == reference.stats.as_dict()
+    assert other.stats.core_finish_ns == reference.stats.core_finish_ns
+
+
+# ----------------------------------------------------------------------
+# Exact engines x coherence designs (bit-identical)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", engines_under_test())
 @pytest.mark.parametrize("protocol", ["baseline", "c3d"])
-def test_engines_produce_identical_statistics(protocol):
-    obj = run_engine(protocol, "object")
-    cmp = run_engine(protocol, "compiled")
-
-    assert obj.accesses_executed == cmp.accesses_executed
-    assert obj.inter_socket_bytes == cmp.inter_socket_bytes
-    assert obj.total_time_ns == cmp.total_time_ns  # exact: same float op order
-    assert obj.stats.as_dict() == cmp.stats.as_dict()
-    assert obj.stats.core_finish_ns == cmp.stats.core_finish_ns
+def test_exact_engines_produce_identical_statistics(protocol, engine):
+    reference = reference_run(protocol)
+    assert_bit_identical(reference, run_engine(protocol, engine))
 
 
+@pytest.mark.parametrize("engine", engines_under_test())
 @pytest.mark.parametrize("protocol", ["baseline", "c3d"])
-def test_engines_identical_across_warmup_reset(protocol):
+def test_exact_engines_identical_across_warmup_reset(protocol, engine):
     """The warm-up phase boundary (stats reset) must not diverge either."""
-    obj = run_engine(protocol, "object", warmup=WARMUP)
-    cmp = run_engine(protocol, "compiled", warmup=WARMUP)
-    assert obj.stats.as_dict() == cmp.stats.as_dict()
-    assert obj.inter_socket_bytes == cmp.inter_socket_bytes
+    reference = reference_run(protocol, warmup=WARMUP)
+    other = run_engine(protocol, engine, warmup=WARMUP)
+    assert other.stats.as_dict() == reference.stats.as_dict()
+    assert other.inter_socket_bytes == reference.inter_socket_bytes
 
 
 @pytest.mark.parametrize("protocol", ["full-dir", "snoopy", "c3d-full-dir"])
-def test_engines_identical_for_other_designs(protocol):
+def test_exact_engines_identical_for_other_designs(protocol):
     """The remaining evaluated designs ride on the same access path."""
-    obj = run_engine(protocol, "object")
-    cmp = run_engine(protocol, "compiled")
-    assert obj.stats.as_dict() == cmp.stats.as_dict()
-    assert obj.inter_socket_bytes == cmp.inter_socket_bytes
+    reference = reference_run(protocol)
+    for engine in engines_under_test():
+        other = run_engine(protocol, engine)
+        assert other.stats.as_dict() == reference.stats.as_dict()
+        assert other.inter_socket_bytes == reference.inter_socket_bytes
+
+
+# ----------------------------------------------------------------------
+# Every registered engine x every workload frontend
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def recorded_trace_dir(tmp_path_factory):
+    """A facesim workload recorded to a trace directory (replayed below)."""
+    config = SystemConfig.dual_socket(num_sockets=2, cores_per_socket=2).scaled(SCALE)
+    workload = make_workload(
+        "facesim", scale=SCALE, accesses_per_thread=ACCESSES,
+        num_threads=config.total_cores, seed=11,
+    )
+    trace_dir = tmp_path_factory.mktemp("engine-matrix") / "facesim"
+    record_workload(workload, trace_dir, trace_format="bin")
+    return str(trace_dir)
+
+
+def _matrix_workload(kind: str, config, trace_dir: str):
+    if kind == "synthetic":
+        return make_workload(
+            "facesim", scale=SCALE, accesses_per_thread=ACCESSES,
+            num_threads=config.total_cores, seed=11,
+        )
+    if kind == "scenario":
+        return build_workload(
+            num_sockets=config.num_sockets,
+            cores_per_socket=config.cores_per_socket,
+            workload="facesim", trace_dir=None, scenario="het-dual",
+            scale=SCALE, accesses_per_thread=ACCESSES, seed=11,
+        )
+    assert kind == "trace-replay"
+    return build_workload(
+        num_sockets=config.num_sockets,
+        cores_per_socket=config.cores_per_socket,
+        workload="facesim", trace_dir=trace_dir, scenario=None,
+        scale=SCALE, accesses_per_thread=ACCESSES, seed=11,
+    )
+
+
+def _run_matrix(kind: str, engine: str, trace_dir: str, sample_plan=None):
+    config = SystemConfig.dual_socket(
+        protocol="c3d", num_sockets=2, cores_per_socket=2
+    ).scaled(SCALE)
+    system = NumaSystem(config)
+    workload = _matrix_workload(kind, config, trace_dir)
+    simulator = Simulator(system, workload, engine=engine, sample_plan=sample_plan)
+    result = simulator.run(prewarm=True)
+    return result, system
+
+
+@pytest.fixture(scope="module")
+def matrix_references(recorded_trace_dir):
+    """One shared reference run per workload frontend (deterministic)."""
+    return {
+        kind: _run_matrix(kind, REFERENCE_ENGINE, recorded_trace_dir)[0]
+        for kind in WORKLOAD_KINDS
+    }
+
+
+def matrix_engines():
+    """Every registered engine except the reference (it backs the fixture)."""
+    return [name for name in engines.names() if name != REFERENCE_ENGINE]
+
+
+@pytest.mark.parametrize("engine", matrix_engines())
+@pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+def test_engine_matrix_over_workload_frontends(kind, engine, recorded_trace_dir,
+                                               matrix_references):
+    reference = matrix_references[kind]
+    engine_cls = engines.get(engine)
+    if engine_cls.supports_sampling:
+        sampled, system = _run_matrix(
+            kind, engine, recorded_trace_dir, sample_plan=SAMPLING_PLAN
+        )
+        assert system.check_invariants() == []
+        summary = sampled.stats.sampling
+        assert summary is not None and summary.metrics
+        failures = check_sampling.check_containment(reference.stats, sampled.stats)
+        assert failures == []
+        assert summary.covered_accesses == reference.accesses_executed
+    else:
+        result, system = _run_matrix(kind, engine, recorded_trace_dir)
+        assert system.check_invariants() == []
+        assert_bit_identical(reference, result)
+
+
+# ----------------------------------------------------------------------
+# Trace compilation (the representation behind supports_trace_compile)
+# ----------------------------------------------------------------------
 
 
 def test_compiled_trace_matches_stream():

@@ -2,11 +2,20 @@
 """CI performance-regression gate over ``repro bench`` output.
 
 Compares the most recent record of a bench output file (the JSON list
-``repro bench`` appends to) against the committed reference throughput in
-``benchmarks/baseline.json``: every measurement key present in the baseline
-must reach at least ``tolerance * baseline`` accesses/sec.  The tolerance
-absorbs runner-to-runner noise; a real hot-path regression (or an
-accidentally quadratic change) lands well below it.
+``repro bench`` appends to) against the committed reference in
+``benchmarks/baseline.json``.  Two gates share the file:
+
+* **measurements** (the default): every measurement key present in the
+  baseline must reach at least ``tolerance * baseline`` accesses/sec.  The
+  tolerance absorbs runner-to-runner noise; a real hot-path regression (or
+  an accidentally quadratic change) lands well below it.
+* **speedups** (``--speedups``): every key of the baseline's ``speedups``
+  section -- currently the ``sampled_speedup_*`` exact-vs-sampled
+  wall-clock ratios ``repro bench --sampled`` records -- must reach its
+  committed floor.  Ratios of two runs on the same machine are largely
+  noise-immune, so the floors are applied directly (no tolerance factor);
+  this is what keeps the sampled engine's fast-forward win from silently
+  regressing.
 
 Usage::
 
@@ -14,7 +23,12 @@ Usage::
         --output bench_regression.json
     python tools/check_bench_regression.py bench_regression.json
 
-Exits 0 when every measurement clears the gate, 1 otherwise (listing each
+    PYTHONPATH=src python -m repro bench --accesses 2500 --rounds 2 \
+        --protocols baseline c3d --engines compiled --sampled \
+        --output bench_sampled.json
+    python tools/check_bench_regression.py bench_sampled.json --speedups
+
+Exits 0 when every gated value clears, 1 otherwise (listing each
 regression).  The CI ``bench-regression`` job uploads the fresh output as a
 workflow artifact so the committed baseline can be refreshed from a healthy
 build (see the note inside ``benchmarks/baseline.json``).
@@ -70,6 +84,36 @@ def check(record: dict, baseline: dict, tolerance: Optional[float] = None) -> Li
     return failures
 
 
+def check_speedups(record: dict, baseline: dict) -> List[str]:
+    """Gate the record's top-level speedup ratios against committed floors.
+
+    The baseline's ``speedups`` section maps record keys (e.g.
+    ``sampled_speedup_c3d``) to minimum acceptable ratios.  Ratios compare
+    two runs of the same invocation on the same machine, so the floors are
+    enforced directly -- no noise tolerance factor.
+    """
+    failures: List[str] = []
+    floors = baseline.get("speedups", {})
+    if not floors:
+        failures.append("baseline has no 'speedups' section to gate against")
+        return failures
+    for key, floor in floors.items():
+        value = record.get(key)
+        if value is None:
+            failures.append(
+                f"{key}: missing from the bench record "
+                "(was the bench run with --sampled?)"
+            )
+            continue
+        verdict = "ok" if value >= floor else "REGRESSION"
+        print(f"{key:<28s} {value:>6.2f}x  (floor {floor:.2f}x)  {verdict}")
+        if value < floor:
+            failures.append(
+                f"{key}: {value:.2f}x is below the committed floor {floor:.2f}x"
+            )
+    return failures
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("record", help="bench output JSON (repro bench --output)")
@@ -84,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the baseline file's tolerance (fraction of baseline)",
     )
+    parser.add_argument(
+        "--speedups",
+        action="store_true",
+        help="gate the baseline's 'speedups' section (sampled_speedup_*) "
+        "instead of the throughput measurements",
+    )
     return parser
 
 
@@ -91,7 +141,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     record = latest_record(Path(args.record))
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
-    failures = check(record, baseline, args.tolerance)
+    if args.speedups:
+        failures = check_speedups(record, baseline)
+    else:
+        failures = check(record, baseline, args.tolerance)
     stamp = record.get("timestamp", "?")
     sha = record.get("git_sha") or "unknown-sha"
     if failures:

@@ -14,6 +14,8 @@ Usage::
     python -m repro campaign run spec.json          # resumable batch runs
     python -m repro campaign status spec.json
     python -m repro report --store results/demo     # tables, no simulation
+    python -m repro store verify results/demo       # integrity scan
+    python -m repro store repair results/demo       # compact out corruption
 
 The CLI is a thin wrapper over the public API (``SystemConfig`` /
 ``NumaSystem`` / ``Simulator``); it exists so that a single simulation can be
@@ -24,13 +26,15 @@ composition (``--scenario``, a built-in name or a JSON file);
 ``--record-trace DIR`` captures the selected workload to a trace directory
 before simulating it.
 
-Three subcommands sit in front of the single-run flags: ``bench``
+Four subcommands sit in front of the single-run flags: ``bench``
 (:mod:`repro.bench`) runs the simulator-throughput microbenchmark and
 appends to ``BENCH_throughput.json``; ``campaign``
 (:mod:`repro.experiments.campaign`) runs/inspects/cleans resumable
 experiment campaigns against a persistent results store; ``report``
 (:mod:`repro.experiments.report`) renders a populated store into
-Markdown/CSV tables without re-simulating.  See ``docs/campaigns.md``.
+Markdown/CSV tables without re-simulating; ``store``
+(:mod:`repro.stats.store`) verifies and repairs a store's integrity
+(docs/robustness.md).  See ``docs/campaigns.md``.
 """
 
 from __future__ import annotations
@@ -145,6 +149,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .experiments.report import main as report_main
 
         return report_main(argv[1:])
+    if argv and argv[0] == "store":
+        from .stats.store import main as store_main
+
+        return store_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     # Engine resolution happens before any expensive work (workload

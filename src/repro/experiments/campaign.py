@@ -47,7 +47,15 @@ from ..system.config import PROTOCOL_NAMES
 from ..workloads.registry import WORKLOAD_SPECS
 from .common import ExperimentContext, ExperimentSettings
 from . import runner as runner_module
-from .runner import SweepPoint, SweepResult, run_all, run_sweep, sweep_point_key
+from .runner import (
+    FailurePolicy,
+    PointFailure,
+    SweepPoint,
+    SweepResult,
+    run_all,
+    run_sweep,
+    sweep_point_key,
+)
 
 __all__ = [
     "CampaignError",
@@ -350,15 +358,20 @@ class CampaignSummary:
     figure_store_hits: int
     figure_store_misses: int
     wall_clock_s: float
-    results: List[SweepResult] = field(default_factory=list, repr=False)
+    #: Points quarantined this invocation (exhausted their retry budget).
+    failed_points: int = 0
+    results: List[Optional[SweepResult]] = field(default_factory=list, repr=False)
     figure_results: Dict[str, object] = field(default_factory=dict, repr=False)
+    failures: List[PointFailure] = field(default_factory=list, repr=False)
 
     def format(self) -> str:
         """One parse-friendly summary line (the CI smoke greps it)."""
-        parts = [
-            f"campaign '{self.name}': {self.total_points} points "
-            f"({self.executed_points} executed, {self.cached_points} cached)"
-        ]
+        counts = f"{self.executed_points} executed, {self.cached_points} cached"
+        if self.failed_points:
+            # Appended only when non-zero so the fault-free line stays
+            # byte-stable for the CI greps.
+            counts += f", {self.failed_points} failed"
+        parts = [f"campaign '{self.name}': {self.total_points} points ({counts})"]
         if self.figures:
             parts.append(
                 f"{len(self.figures)} figures "
@@ -375,6 +388,7 @@ def run_campaign(
     *,
     jobs: int = 1,
     stream=sys.stdout,
+    failure_policy: Optional[FailurePolicy] = FailurePolicy(),
 ) -> CampaignSummary:
     """Execute a campaign against a results store, resuming automatically.
 
@@ -383,13 +397,32 @@ def run_campaign(
     most the in-flight points and the next invocation continues from there.
     Figures run after the sweeps through store-backed contexts, so their
     simulations are cached and skipped the same way.
+
+    Sweep points run fault-tolerantly by default (docs/robustness.md): each
+    point is retried per ``failure_policy`` and, if it keeps failing, is
+    quarantined to the store's ``failures.jsonl`` while the campaign
+    completes the rest -- the summary reports them as ``failed_points``.
+    Pass ``failure_policy=None`` for the legacy fail-fast behaviour, where
+    the first failing point aborts the campaign.  A quarantined point is
+    *not* blacklisted: the next invocation retries it.
     """
     started = time.time()
     points = spec.expand()
     cached = sum(
         1 for point in points if sweep_point_key(point, spec.engine) in store
     )
-    results = run_sweep(points, jobs=jobs, store=store, engine=spec.engine)
+    failures: List[PointFailure] = []
+    results = run_sweep(
+        points, jobs=jobs, store=store, engine=spec.engine,
+        failure_policy=failure_policy, on_failure=failures.append,
+    )
+    for failure in failures:
+        print(
+            f"point FAILED after {failure.attempts} attempt(s) "
+            f"[{failure.engine}]: {failure.error} "
+            f"(quarantined to {store.failures_path})",
+            file=stream,
+        )
 
     hits_before, misses_before = store.hits, store.misses
     figure_results: Dict[str, object] = {}
@@ -402,14 +435,16 @@ def run_campaign(
     summary = CampaignSummary(
         name=spec.name,
         total_points=len(points),
-        executed_points=len(points) - cached,
+        executed_points=len(points) - cached - len(failures),
         cached_points=cached,
         figures=spec.figures,
         figure_store_hits=store.hits - hits_before,
         figure_store_misses=store.misses - misses_before,
         wall_clock_s=time.time() - started,
+        failed_points=len(failures),
         results=results,
         figure_results=figure_results,
+        failures=failures,
     )
     print(summary.format(), file=stream)
     return summary
@@ -418,12 +453,23 @@ def run_campaign(
 def campaign_status(spec: CampaignSpec, store: ResultsStore) -> Dict[str, object]:
     """Completion state of a campaign without simulating anything.
 
-    Returns ``{"points_done", "points_total", "figures": {name: bool}}``;
-    figure completeness is probed by replaying the figure through an
-    *offline* context (pure store lookups -- a missing run means incomplete).
+    Returns ``{"points_done", "points_total", "points_quarantined",
+    "figures": {name: bool}}``; figure completeness is probed by replaying
+    the figure through an *offline* context (pure store lookups -- a missing
+    run means incomplete).  ``points_quarantined`` counts the campaign's
+    points present in the store's ``failures.jsonl`` sidecar but not yet
+    completed -- they re-run on the next invocation (docs/robustness.md).
     """
     points = spec.expand()
     done = sum(1 for point in points if sweep_point_key(point, spec.engine) in store)
+    campaign_keys = {sweep_point_key(point, spec.engine) for point in points}
+    quarantined = len(
+        {
+            record.key
+            for record in store.failure_log.records()
+            if record.key in campaign_keys and record.key not in store
+        }
+    )
     figures: Dict[str, bool] = {}
     if spec.figures:
         context = ExperimentContext(
@@ -440,22 +486,33 @@ def campaign_status(spec: CampaignSpec, store: ResultsStore) -> Dict[str, object
                 figures[name] = False
             else:
                 figures[name] = True
-    return {"points_done": done, "points_total": len(points), "figures": figures}
+    return {
+        "points_done": done,
+        "points_total": len(points),
+        "points_quarantined": quarantined,
+        "figures": figures,
+    }
 
 
-def merged_point_stats(spec: CampaignSpec, store: ResultsStore) -> SimulationStats:
+def merged_point_stats(
+    spec: CampaignSpec, store: ResultsStore, *, skip_missing: bool = False
+) -> SimulationStats:
     """Fold the stored statistics of every sweep point, in expansion order.
 
     Raises :class:`~repro.stats.store.MissingRunError` if any point has not
-    been run yet.  Because the fold order is the deterministic expansion
-    order (not completion order), the aggregate is bit-identical whether the
-    campaign ran cold, resumed, or fanned out over workers.
+    been run yet; with ``skip_missing=True`` absent points (e.g. quarantined
+    ones) are skipped instead, folding only the surviving points.  Because
+    the fold order is the deterministic expansion order (not completion
+    order), the aggregate is bit-identical whether the campaign ran cold,
+    resumed, fanned out over workers, or survived injected faults.
     """
     merged = SimulationStats()
     for point in spec.expand():
         key = sweep_point_key(point, spec.engine)
         stored = store.get(key)
         if stored is None:
+            if skip_missing:
+                continue
             raise MissingRunError(key, runner_module.sweep_point_payload(point, spec.engine))
         merged.merge(stored.stats)
     return merged
@@ -480,6 +537,27 @@ def build_parser() -> argparse.ArgumentParser:
                                  "'store' field, else results/<name>)")
     run_parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes for the sweep points")
+    run_parser.add_argument("--max-attempts", type=int, default=3,
+                            help="attempts per sweep point before it is "
+                                 "quarantined to failures.jsonl (default: 3)")
+    run_parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                            help="per-point wall-clock budget in seconds; a "
+                                 "point past it is killed and counted as a "
+                                 "failed attempt (default: no timeout)")
+    run_parser.add_argument("--retry-backoff", type=float, default=0.25,
+                            metavar="S",
+                            help="first retry delay in seconds, doubling per "
+                                 "attempt with deterministic jitter "
+                                 "(default: 0.25)")
+    run_parser.add_argument("--on-engine-error", choices=("fail", "fallback"),
+                            default="fail",
+                            help="'fallback' re-runs a point that keeps "
+                                 "failing on a sampled/non-deterministic "
+                                 "engine once on the exact engine "
+                                 "(default: fail)")
+    run_parser.add_argument("--no-fault-tolerance", action="store_true",
+                            help="legacy fail-fast mode: the first failing "
+                                 "point aborts the campaign")
 
     status_parser = sub.add_parser("status", help="report completion without running")
     status_parser.add_argument("spec")
@@ -501,14 +579,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     store = ResultsStore(spec.store_directory(args.store))
 
     if args.command == "run":
-        run_campaign(spec, store, jobs=args.jobs)
-        return 0
+        if args.no_fault_tolerance:
+            policy = None
+        else:
+            policy = FailurePolicy(
+                max_attempts=args.max_attempts,
+                timeout_s=args.timeout,
+                backoff_s=args.retry_backoff,
+                on_engine_error=args.on_engine_error,
+            )
+        summary = run_campaign(spec, store, jobs=args.jobs, failure_policy=policy)
+        return 1 if summary.failed_points else 0
     if args.command == "status":
         status = campaign_status(spec, store)
         print(
             f"campaign '{spec.name}': {status['points_done']}/"
             f"{status['points_total']} points complete"
         )
+        if status["points_quarantined"]:
+            print(
+                f"  {status['points_quarantined']} point(s) quarantined in "
+                f"{store.failures_path} (will retry on the next run)"
+            )
         for name, complete in status["figures"].items():
             print(f"  figure {name}: {'complete' if complete else 'incomplete'}")
         all_points = status["points_done"] == status["points_total"]

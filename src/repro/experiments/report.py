@@ -142,6 +142,78 @@ def _sampled_points_markdown(store: ResultsStore) -> Optional[str]:
     return "\n".join(lines)
 
 
+def _point_label(params: Mapping, key: str) -> str:
+    """Short human label of a stored point (mirrors the sampled table)."""
+    source = (
+        params.get("scenario")
+        or params.get("trace_dir")
+        or params.get("workload")
+        or key[:12]
+    )
+    parts = [f"{source}/{params.get('protocol', '?')}"]
+    if params.get("scale") is not None:
+        parts.append(f"s{params['scale']}")
+    if params.get("num_sockets") is not None:
+        parts.append(f"{params['num_sockets']}x{params.get('cores_per_socket', '?')}")
+    return " ".join(parts)
+
+
+def _reliability_markdown(store: ResultsStore) -> Optional[str]:
+    """Render the store's retried/degraded/quarantined points as a table.
+
+    Stored records stamp ``attempts`` and ``engine_used`` when a point
+    needed retries or ran on a fallback engine (docs/robustness.md); the
+    store's ``failures.jsonl`` sidecar holds the points that exhausted their
+    attempts.  Returns ``None`` when every point completed first-try on its
+    requested engine and nothing is quarantined -- the common case, which
+    keeps fault-free reports byte-stable.
+    """
+    lines = [
+        "## reliability",
+        "",
+        "Points that needed retries, ran degraded on a fallback engine, or "
+        "were quarantined (docs/robustness.md).",
+    ]
+    degraded = []
+    for record in store.records():
+        requested = record.params.get("engine")
+        fell_back = record.engine_used is not None and record.engine_used != requested
+        if record.attempts > 1 or fell_back:
+            degraded.append((record, requested, fell_back))
+    if degraded:
+        lines += [
+            "",
+            "| point | attempts | engine requested | engine used |",
+            "| --- | --- | --- | --- |",
+        ]
+        for record, requested, fell_back in sorted(
+            degraded, key=lambda row: _point_label(row[0].params, row[0].key)
+        ):
+            used = record.engine_used if fell_back else (requested or "?")
+            lines.append(
+                f"| {_point_label(record.params, record.key)} "
+                f"| {record.attempts} | {requested or '?'} | {used} |"
+            )
+    failures = store.failure_log.records()
+    if failures:
+        lines += [
+            "",
+            f"### quarantined points ({store.failures_path.name})",
+            "",
+            "| point | engine | attempts | error |",
+            "| --- | --- | --- | --- |",
+        ]
+        for failure in failures:
+            error = failure.error.replace("|", "\\|")
+            lines.append(
+                f"| {_point_label(failure.params, failure.key)} "
+                f"| {failure.engine or '?'} | {failure.attempts} | {error} |"
+            )
+    if not degraded and not failures:
+        return None
+    return "\n".join(lines)
+
+
 def generate_report(
     store: ResultsStore,
     settings: Optional[ExperimentSettings] = None,
@@ -226,6 +298,15 @@ def generate_report(
                 sampled_markdown + "\n", encoding="utf-8"
             )
 
+    reliability_markdown = _reliability_markdown(store)
+    if reliability_markdown is not None:
+        print("reliability: retried/degraded/quarantined points present",
+              file=stream)
+        if out_path is not None:
+            (out_path / "reliability.md").write_text(
+                reliability_markdown + "\n", encoding="utf-8"
+            )
+
     if out_path is not None:
         index_lines = ["# Experiment report", ""]
         for name, entry in entries.items():
@@ -237,6 +318,9 @@ def generate_report(
         if sampled_markdown is not None:
             index_lines.append("- [sampled points](sampled_points.md) "
                                "(mean ± CI per metric)")
+        if reliability_markdown is not None:
+            index_lines.append("- [reliability](reliability.md) "
+                               "(retried / degraded / quarantined points)")
         (out_path / "index.md").write_text("\n".join(index_lines) + "\n",
                                            encoding="utf-8")
     return entries

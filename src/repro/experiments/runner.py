@@ -34,10 +34,14 @@ per-point :class:`~repro.stats.counters.SimulationStats` into one aggregate.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import multiprocessing
 import sys
 import time
-from dataclasses import asdict, dataclass
+import traceback as traceback_module
+import warnings
+from collections import deque
+from dataclasses import asdict, dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import (
@@ -54,7 +58,14 @@ from . import (
     table1,
 )
 from ..stats.counters import SimulationStats
-from ..stats.store import STORE_SCHEMA_VERSION, ResultsStore, StoredRun, content_key
+from ..stats.store import (
+    STORE_SCHEMA_VERSION,
+    FailureRecord,
+    ResultsStore,
+    StoredRun,
+    content_key,
+)
+from ..testing import faults
 from .common import ExperimentContext, ExperimentSettings
 
 __all__ = [
@@ -63,6 +74,9 @@ __all__ = [
     "main",
     "SweepPoint",
     "SweepResult",
+    "FailurePolicy",
+    "PointFailure",
+    "fallback_engine",
     "sweep_point_payload",
     "sweep_point_key",
     "run_sweep",
@@ -119,6 +133,11 @@ class SweepResult:
     inter_socket_bytes: int
     accesses_executed: int
     wall_clock_s: float = 0.0
+    #: Execution attempts this result took (1 = first try; >1 = retried).
+    attempts: int = 1
+    #: Engine that actually ran the point; ``None`` = the requested engine.
+    #: Differs only after an ``on_engine_error="fallback"`` degradation.
+    engine_used: Optional[str] = None
 
 
 def sweep_point_payload(point: SweepPoint, engine: str = "compiled") -> Dict:
@@ -160,13 +179,24 @@ def sweep_point_key(point: SweepPoint, engine: str = "compiled") -> str:
     return content_key(sweep_point_payload(point, engine))
 
 
-def _run_sweep_point(point: SweepPoint, engine: str = "compiled") -> SweepResult:
+def _run_sweep_point(
+    point: SweepPoint, engine: str = "compiled", attempt: int = 1
+) -> SweepResult:
     """Worker entry point: build and run one simulation."""
     # Imports kept local so forked/spawned workers only pay for what they use.
     from ..system.config import SystemConfig
     from ..system.numa_system import NumaSystem
     from ..system.simulator import Simulator
     from ..workloads.scenario import build_workload
+
+    # Chaos hook (docs/robustness.md): when a FaultPlan is installed in the
+    # environment, this worker may crash, hang, or both -- deterministically,
+    # keyed by (seed, point key, attempt) -- before any real work starts.
+    plan = faults.active()
+    if plan is not None:
+        plan.inject_point_faults(
+            sweep_point_key(point, engine), sweep_point_payload(point, engine), attempt
+        )
 
     base = SystemConfig.dual_socket if point.num_sockets == 2 else SystemConfig.quad_socket
     config = base(
@@ -214,12 +244,6 @@ def _run_sweep_point(point: SweepPoint, engine: str = "compiled") -> SweepResult
     )
 
 
-def _run_indexed_point(task: Tuple[int, SweepPoint, str]) -> Tuple[int, SweepResult]:
-    """Pool entry point carrying the input index for order restoration."""
-    index, point, engine = task
-    return index, _run_sweep_point(point, engine)
-
-
 def _stored_from_sweep(result: SweepResult, key: str, engine: str) -> StoredRun:
     return StoredRun(
         key=key,
@@ -229,6 +253,8 @@ def _stored_from_sweep(result: SweepResult, key: str, engine: str) -> StoredRun:
         inter_socket_bytes=result.inter_socket_bytes,
         accesses_executed=result.accesses_executed,
         wall_clock_s=result.wall_clock_s,
+        attempts=result.attempts,
+        engine_used=result.engine_used,
     )
 
 
@@ -240,7 +266,320 @@ def _sweep_from_stored(point: SweepPoint, stored: StoredRun) -> SweepResult:
         inter_socket_bytes=stored.inter_socket_bytes,
         accesses_executed=stored.accesses_executed,
         wall_clock_s=stored.wall_clock_s,
+        attempts=stored.attempts,
+        engine_used=stored.engine_used,
     )
+
+
+# ----------------------------------------------------------------------
+# Failure-domain layer: per-point isolation, retries, quarantine
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How campaign execution reacts to a failing or hanging sweep point.
+
+    Every point runs in its own worker process (one failure domain per
+    point), watched by the parent: an exception, a death (e.g. SIGKILL/OOM)
+    or a wall-clock timeout fails *that attempt*, the point is retried up to
+    ``max_attempts`` times with exponential backoff, and a point that
+    exhausts its attempts is quarantined to the store's ``failures.jsonl``
+    sidecar while the rest of the campaign completes (docs/robustness.md).
+
+    The backoff jitter is *deterministically seeded* -- a pure function of
+    ``(seed, point key, attempt)`` -- so two invocations of the same
+    campaign schedule retries identically; there is no global RNG state.
+    """
+
+    #: Total attempts per point (1 = no retry).
+    max_attempts: int = 3
+    #: Per-point wall-clock budget in seconds; ``None`` disables the
+    #: watchdog (a hung worker then blocks its slot forever, as before).
+    timeout_s: Optional[float] = None
+    #: First retry delay; attempt ``n`` waits ``backoff_s * factor**(n-1)``.
+    backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    #: Relative jitter applied to every delay (0.1 = +/-10%).
+    jitter: float = 0.1
+    #: Seed of the deterministic jitter.
+    seed: int = 0
+    #: ``"fail"`` quarantines after ``max_attempts``; ``"fallback"`` first
+    #: re-runs the point once on the exact fallback engine (capability
+    #: flags: deterministic, non-sampling) when the failing engine samples
+    #: or is non-deterministic -- graceful degradation for flaky engines.
+    on_engine_error: str = "fail"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.on_engine_error not in ("fail", "fallback"):
+            raise ValueError(
+                f"on_engine_error must be 'fail' or 'fallback', "
+                f"got {self.on_engine_error!r}"
+            )
+
+    def backoff(self, key: str, attempt: int) -> float:
+        """Seconds to wait before retrying ``attempt`` (which just failed)."""
+        base = self.backoff_s * self.backoff_factor ** (attempt - 1)
+        token = f"{self.seed}|backoff|{key}|{attempt}".encode("utf-8")
+        draw = int.from_bytes(hashlib.sha256(token).digest()[:8], "big") / 2.0**64
+        return max(0.0, base * (1.0 + self.jitter * (2.0 * draw - 1.0)))
+
+
+@dataclass
+class PointFailure:
+    """A sweep point that exhausted its attempts and was quarantined."""
+
+    point: SweepPoint
+    key: str
+    attempts: int
+    error: str
+    traceback: str
+    engine: str
+
+    def to_failure_record(self) -> FailureRecord:
+        return FailureRecord(
+            key=self.key,
+            params=sweep_point_payload(self.point, self.engine),
+            attempts=self.attempts,
+            error=self.error,
+            traceback=self.traceback,
+            engine=self.engine,
+        )
+
+
+def fallback_engine() -> Optional[str]:
+    """The engine degraded points re-run on: deterministic and non-sampling.
+
+    Resolved through the registry's capability flags -- not a hard-coded
+    name -- so a third-party exact engine registered ahead of the built-ins
+    is honoured.  Returns ``None`` when no registered engine qualifies.
+    """
+    from .. import engines
+
+    for name in engines.names():
+        engine_cls = engines.get(name)
+        if engine_cls.deterministic and not engine_cls.supports_sampling:
+            return name
+    return None
+
+
+@dataclass
+class _PointTask:
+    """One point's execution state inside the isolated executor."""
+
+    index: int
+    point: SweepPoint
+    #: Engine this attempt runs on (switches after a fallback decision).
+    engine: str
+    #: The point actually executed (fallback strips a pinned sample plan).
+    run_point: SweepPoint
+    attempt: int = 1
+    not_before: float = 0.0
+    fell_back: bool = False
+    last_error: str = ""
+    last_traceback: str = ""
+
+
+def _isolated_point_worker(conn, point: SweepPoint, engine: str, attempt: int) -> None:
+    """Child-process entry: run one point, ship the outcome over the pipe."""
+    try:
+        outcome = ("ok", _run_sweep_point(point, engine, attempt=attempt))
+    except BaseException as exc:  # noqa: BLE001 - the whole point is isolation
+        outcome = ("error", repr(exc), traceback_module.format_exc(), exc)
+    try:
+        conn.send(outcome)
+    except Exception:
+        if outcome[0] == "ok":
+            # The result itself failed to pickle; report that instead.
+            conn.send(
+                ("error", "result could not be pickled back to the parent",
+                 traceback_module.format_exc(), None)
+            )
+        else:
+            # The exception object failed to pickle; resend without it.
+            conn.send((outcome[0], outcome[1], outcome[2], None))
+    finally:
+        conn.close()
+
+
+def _kill_worker(process) -> None:
+    """Terminate a hung worker: SIGTERM, short grace, then SIGKILL."""
+    process.terminate()
+    process.join(timeout=0.5)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=5.0)
+
+
+def _run_points_isolated(
+    tasks: List[Tuple[int, SweepPoint]],
+    *,
+    jobs: int,
+    engine: str,
+    policy: FailurePolicy,
+    propagate: bool,
+    finish: Callable[[int, SweepResult], None],
+    quarantine: Callable[[PointFailure], None],
+) -> None:
+    """Run points in per-point worker processes under ``policy``.
+
+    Async submission with a watchdog: up to ``jobs`` workers run
+    concurrently, each on its own :class:`multiprocessing.Process` and pipe.
+    A worker that returns a result finishes its point; one that raises, dies
+    or exceeds ``policy.timeout_s`` fails *that attempt* -- the point is
+    rescheduled (exponential backoff, deterministic jitter) until its
+    attempts are exhausted, then handed to ``quarantine`` (or, with
+    ``propagate=True``, re-raised after in-flight workers are stopped).
+    """
+    context = multiprocessing.get_context()
+    ready = deque(
+        _PointTask(index=index, point=point, engine=engine, run_point=point)
+        for index, point in tasks
+    )
+    waiting: List[_PointTask] = []      # backing off until ``not_before``
+    inflight: Dict[object, Tuple[_PointTask, object, Optional[float]]] = {}
+    fallback = fallback_engine() if policy.on_engine_error == "fallback" else None
+
+    def fail_attempt(task: _PointTask, error: str, trace: str, exc) -> None:
+        task.last_error = error
+        task.last_traceback = trace
+        now = time.monotonic()
+        if task.attempt < policy.max_attempts:
+            task.not_before = now + policy.backoff(
+                sweep_point_key(task.point, engine), task.attempt
+            )
+            task.attempt += 1
+            waiting.append(task)
+            return
+        if (
+            fallback is not None
+            and not task.fell_back
+            and task.engine != fallback
+        ):
+            # Graceful degradation: one extra attempt on the exact fallback
+            # engine.  Only engines that sample or declare themselves
+            # non-deterministic qualify -- a deterministic exact engine
+            # would fail the same way again.
+            from .. import engines
+
+            failing = engines.get(task.engine)
+            if failing.supports_sampling or not failing.deterministic:
+                task.fell_back = True
+                task.engine = fallback
+                # A pinned sampling plan would force the sampled engine
+                # right back on (see _run_sweep_point); degrade it to an
+                # exact run of the same access stream.
+                if task.run_point.sample_plan is not None:
+                    task.run_point = replace(task.run_point, sample_plan=None)
+                task.not_before = now + policy.backoff(
+                    sweep_point_key(task.point, engine), task.attempt
+                )
+                task.attempt += 1
+                waiting.append(task)
+                return
+        failure = PointFailure(
+            point=task.point,
+            key=sweep_point_key(task.point, engine),
+            attempts=task.attempt,
+            error=error,
+            traceback=trace,
+            engine=task.engine,
+        )
+        if propagate:
+            for process, (_task, conn, _deadline) in list(inflight.items()):
+                _kill_worker(process)
+                conn.close()
+            inflight.clear()
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(
+                f"sweep point failed ({error}); worker traceback:\n{trace}"
+            )
+        quarantine(failure)
+
+    try:
+        while ready or waiting or inflight:
+            now = time.monotonic()
+            if waiting:
+                due = [task for task in waiting if task.not_before <= now]
+                if due:
+                    waiting[:] = [t for t in waiting if t.not_before > now]
+                    ready.extend(due)
+
+            while ready and len(inflight) < jobs:
+                task = ready.popleft()
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_isolated_point_worker,
+                    args=(child_conn, task.run_point, task.engine, task.attempt),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                deadline = (
+                    time.monotonic() + policy.timeout_s
+                    if policy.timeout_s is not None else None
+                )
+                inflight[process] = (task, parent_conn, deadline)
+
+            if not inflight:
+                if waiting:
+                    pause = min(task.not_before for task in waiting) - time.monotonic()
+                    time.sleep(min(max(pause, 0.001), 0.25))
+                continue
+
+            completed = []
+            for process, (task, conn, deadline) in inflight.items():
+                outcome = None
+                if conn.poll(0):
+                    try:
+                        outcome = conn.recv()
+                    except (EOFError, OSError):
+                        outcome = (
+                            "error",
+                            "worker closed its pipe without a result",
+                            "", None,
+                        )
+                    process.join()
+                elif not process.is_alive():
+                    process.join()
+                    outcome = (
+                        "error",
+                        f"worker died without a result "
+                        f"(exit code {process.exitcode}, e.g. killed or OOM)",
+                        "", None,
+                    )
+                elif deadline is not None and time.monotonic() > deadline:
+                    _kill_worker(process)
+                    outcome = (
+                        "error",
+                        f"point timed out after {policy.timeout_s:.1f}s "
+                        f"(worker killed by the watchdog)",
+                        "", None,
+                    )
+                if outcome is not None:
+                    completed.append((process, task, conn, outcome))
+
+            for process, task, conn, outcome in completed:
+                del inflight[process]
+                conn.close()
+                if outcome[0] == "ok":
+                    result: SweepResult = outcome[1]
+                    result.attempts = task.attempt
+                    result.engine_used = task.engine
+                    finish(task.index, result)
+                else:
+                    _tag, error, trace, exc = outcome
+                    fail_attempt(task, error, trace, exc)
+
+            if not completed:
+                time.sleep(0.005)
+    finally:
+        for process, (_task, conn, _deadline) in inflight.items():
+            _kill_worker(process)
+            conn.close()
 
 
 def run_sweep(
@@ -249,20 +588,32 @@ def run_sweep(
     jobs: Optional[int] = None,
     store: Optional[ResultsStore] = None,
     engine: str = "compiled",
-) -> List[SweepResult]:
-    """Run a list of sweep points, optionally over a multiprocessing pool.
+    failure_policy: Optional[FailurePolicy] = None,
+    on_failure: Optional[Callable[[PointFailure], None]] = None,
+) -> List[Optional[SweepResult]]:
+    """Run a list of sweep points, optionally over worker processes.
 
     ``jobs=None`` or ``jobs<=1`` runs in-process (deterministic order, no
     pickling); otherwise up to ``jobs`` worker processes execute points
-    concurrently.  Results are always returned in input order.  ``engine``
-    is validated against the :mod:`repro.engines` registry up front, so a
-    typo fails before any simulation starts.
+    concurrently -- one process per point, so a crash or hang is confined to
+    its own failure domain.  Results are always returned in input order.
+    ``engine`` is validated against the :mod:`repro.engines` registry up
+    front, so a typo fails before any simulation starts.
 
     With a ``store``, points whose content key is already persisted are
     loaded instead of simulated, and every freshly simulated point is
     appended to the store *as soon as it completes* -- interrupting a sweep
     loses at most the in-flight points, and re-running it resumes from the
     completed ones (docs/campaigns.md walks through this).
+
+    Without a ``failure_policy`` a failing point propagates and aborts the
+    sweep (completed points are already persisted when a store is in use).
+    With one, every point -- even under ``jobs=1`` -- runs in an isolated
+    worker process governed by the policy's retries / timeout / fallback;
+    points that exhaust their attempts are quarantined to the store's
+    ``failures.jsonl`` (and reported through ``on_failure``), their result
+    slots are returned as ``None``, and the sweep completes the rest
+    (docs/robustness.md).
     """
     from .. import engines
 
@@ -285,19 +636,54 @@ def run_sweep(
         results[index] = result
         if store is not None:
             key = sweep_point_key(points[index], engine)
-            store.put(_stored_from_sweep(result, key, engine))
+            record = _stored_from_sweep(result, key, engine)
+            if failure_policy is None:
+                store.put(record)
+                return
+            try:
+                store.put(record)
+            except OSError as exc:
+                # A failed append must not take the computed result down
+                # with it: keep the in-memory result, warn, move on.  The
+                # point simply re-runs on the next invocation.
+                warnings.warn(
+                    f"results store append failed for key {key[:12]}... "
+                    f"({exc}); continuing without persisting this point",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
-    if jobs is None or jobs <= 1 or len(pending) <= 1:
-        for index in pending:
-            finish(index, _run_sweep_point(points[index], engine))
+    def quarantine(failure: PointFailure) -> None:
+        if store is not None:
+            store.failure_log.append(failure.to_failure_record())
+        if on_failure is not None:
+            on_failure(failure)
+
+    if failure_policy is None:
+        if jobs is None or jobs <= 1 or len(pending) <= 1:
+            for index in pending:
+                finish(index, _run_sweep_point(points[index], engine))
+        else:
+            _run_points_isolated(
+                [(index, points[index]) for index in pending],
+                jobs=min(jobs, len(pending)),
+                engine=engine,
+                policy=FailurePolicy(max_attempts=1),
+                propagate=True,
+                finish=finish,
+                quarantine=lambda failure: None,
+            )
     else:
-        tasks = [(index, points[index], engine) for index in pending]
-        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-            # Unordered so completed points persist immediately; the carried
-            # index restores input order.
-            for index, result in pool.imap_unordered(_run_indexed_point, tasks):
-                finish(index, result)
-    return results  # type: ignore[return-value]  # every slot is filled above
+        _run_points_isolated(
+            [(index, points[index]) for index in pending],
+            jobs=max(1, min(jobs or 1, max(1, len(pending)))),
+            engine=engine,
+            policy=failure_policy,
+            propagate=False,
+            finish=finish,
+            quarantine=quarantine,
+        )
+    return results
 
 
 def merge_stats(results: Sequence[SweepResult]) -> SimulationStats:
@@ -388,17 +774,26 @@ def run_all(
 
 def _run_named_experiment(
     task: Tuple[str, ExperimentSettings, Optional[str]]
-) -> Tuple[str, str, float]:
-    """Worker entry point: run one named experiment and return its report text."""
+) -> Tuple[str, str, float, str]:
+    """Worker entry point: run one named experiment and return its report text.
+
+    Exceptions are caught and returned as a traceback string (the fourth
+    element, empty on success) instead of propagating: with a bare
+    ``pool.map`` the first raising task used to abort the whole fan-out and
+    discard every completed report.
+    """
     name, settings, store_path = task
-    store = ResultsStore(store_path) if store_path is not None else None
-    runner, formatter, dual = _EXPERIMENTS[name]
-    context = ExperimentContext(
-        settings.dual_socket() if dual else settings, store=store
-    )
     start = time.time()
-    result = runner(context)
-    return name, formatter(result), time.time() - start
+    try:
+        store = ResultsStore(store_path) if store_path is not None else None
+        runner, formatter, dual = _EXPERIMENTS[name]
+        context = ExperimentContext(
+            settings.dual_socket() if dual else settings, store=store
+        )
+        result = runner(context)
+        return name, formatter(result), time.time() - start, ""
+    except Exception:
+        return name, "", time.time() - start, traceback_module.format_exc()
 
 
 def run_all_parallel(
@@ -408,6 +803,7 @@ def run_all_parallel(
     include_sensitivity: bool = True,
     stream=sys.stdout,
     store: Optional[ResultsStore] = None,
+    names: Optional[Sequence[str]] = None,
 ) -> Dict[str, str]:
     """Fan the experiments out over ``jobs`` worker processes.
 
@@ -421,24 +817,51 @@ def run_all_parallel(
     ``{experiment-name: report-text}``, not the result objects of
     :func:`run_all` -- use ``jobs=1`` / :func:`run_all` when structured
     results are needed.
+
+    A raising experiment no longer aborts the fan-out: its error is printed
+    (with the worker traceback) alongside the completed reports, and its
+    entry in the returned dict is the string ``"FAILED: <traceback>"`` so
+    callers can tell partial results from success.  ``names`` restricts the
+    run to a subset of the registry, mirroring :func:`run_all`.
     """
     settings = settings or ExperimentSettings()
     store_path = str(store.directory) if store is not None else None
     tasks = [
         (name, settings, store_path)
-        for name in _experiment_names(include_sensitivity)
+        for name in (
+            names if names is not None else _experiment_names(include_sensitivity)
+        )
     ]
+    reports: Dict[str, str] = {}
+    failed: List[str] = []
     with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-        results = pool.map(_run_named_experiment, tasks)
+        # Unordered so every completed report is printed even if a later
+        # recv or a sibling task fails mid-fan-out.
+        for name, report, elapsed, error in pool.imap_unordered(
+            _run_named_experiment, tasks
+        ):
+            if error:
+                failed.append(name)
+                reports[name] = f"FAILED: {error}"
+                print(f"\n### {name}  FAILED  ({elapsed:.1f} s)\n", file=stream)
+                print(error, file=stream)
+            else:
+                reports[name] = report
+                print(f"\n### {name}  ({elapsed:.1f} s)\n", file=stream)
+                print(report, file=stream)
+            stream.flush()
     if store is not None:
         store.reload()  # pick up the records the workers appended
-    reports: Dict[str, str] = {}
-    for name, report, elapsed in results:
-        reports[name] = report
-        print(f"\n### {name}  ({elapsed:.1f} s)\n", file=stream)
-        print(report, file=stream)
+    if failed:
+        print(
+            f"\n{len(failed)}/{len(tasks)} experiments failed: "
+            f"{', '.join(sorted(failed))}",
+            file=stream,
+        )
         stream.flush()
-    return reports
+    # Restore registry order (imap_unordered scrambles it).
+    ordered = [name for name, _s, _p in tasks]
+    return {name: reports[name] for name in ordered if name in reports}
 
 
 def main(argv: Optional[List[str]] = None) -> Dict[str, object]:

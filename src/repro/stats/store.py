@@ -21,6 +21,17 @@ the :mod:`repro.engines` registry) are part of every key payload, which
 makes them part of the persistence contract: the built-in names are stable
 and ``tests/engines/test_store_keys.py`` pins representative keys
 byte-for-byte.
+
+The store is also *verifiable and repairable* (docs/robustness.md): every
+appended line carries a checksum over its canonical JSON body, loading
+counts (and warns about) corrupt/torn lines instead of silently dropping
+them (:attr:`ResultsStore.corrupt_records`), :meth:`ResultsStore.verify`
+locates corrupt, torn and duplicate records without touching the file, and
+:meth:`ResultsStore.repair` compacts everything salvageable into a clean,
+fully-checksummed file (atomic replace, fsync'd, last-wins preserved).
+Quarantined sweep points live next to the results in a ``failures.jsonl``
+sidecar (:class:`FailureLog`), one JSON record per failed point with its
+key, payload, attempt count and captured traceback.
 """
 
 from __future__ import annotations
@@ -28,19 +39,29 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass
+import time
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Optional, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
+from ..testing import faults
 from .counters import SimulationStats
 from .sampling import SampledSimulationStats
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
     "MissingRunError",
+    "StoreCorruptionWarning",
     "StoredRun",
     "ResultsStore",
+    "FailureRecord",
+    "FailureLog",
+    "StoreIssue",
+    "StoreVerifyReport",
+    "StoreRepairReport",
     "content_key",
+    "main",
 ]
 
 PathLike = Union[str, Path]
@@ -52,6 +73,69 @@ STORE_SCHEMA_VERSION = 1
 
 #: File name of the append-only record log inside a store directory.
 RESULTS_FILE = "results.jsonl"
+
+#: File name of the poison-point quarantine sidecar (docs/robustness.md).
+FAILURES_FILE = "failures.jsonl"
+
+
+class StoreCorruptionWarning(UserWarning):
+    """Corrupt or torn record lines were skipped while loading a store."""
+
+
+def _canonical(payload: Mapping) -> str:
+    """The canonical JSON form (sorted keys, no whitespace) of a payload."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(body: str) -> str:
+    """Per-record integrity checksum: 16 hex chars of SHA-256 of the body."""
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+class _ChecksumMismatch(ValueError):
+    """A record line parsed as JSON but its bytes were altered."""
+
+
+def _decode_record_payload(line: str) -> Dict:
+    """Parse one record line into its payload dict, validating the checksum.
+
+    Raises ``ValueError`` (including :class:`_ChecksumMismatch`) on any
+    corruption.  Records written before the checksum existed (no ``check``
+    field) are accepted as-is.
+    """
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError("record line is not a JSON object")
+    check = payload.pop("check", None)
+    if check is not None and _checksum(_canonical(payload)) != check:
+        raise _ChecksumMismatch("checksum mismatch (record bytes were altered)")
+    return payload
+
+
+def _ends_mid_line(path: Path) -> bool:
+    """True when ``path`` exists, is non-empty and lacks a final newline."""
+    try:
+        with path.open("rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+    except (OSError, ValueError):
+        return False
+
+
+def _append_line(path: Path, line: str, *, data_override: Optional[str] = None) -> None:
+    """Durably append one line: O_APPEND, newline-guarded, fsync'd.
+
+    ``data_override`` replaces the written bytes (fault injection uses it to
+    model torn/corrupted appends); the newline guard still applies, so a
+    previous writer's torn fragment stays isolated on its own line.
+    """
+    data = data_override if data_override is not None else line + "\n"
+    if _ends_mid_line(path):
+        data = "\n" + data
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
 
 
 class MissingRunError(KeyError):
@@ -97,9 +181,15 @@ class StoredRun:
     inter_socket_bytes: int
     accesses_executed: int
     wall_clock_s: float = 0.0
+    #: How many execution attempts produced this result (1 = first try).
+    attempts: int = 1
+    #: Engine that actually produced the result; ``None`` means the keyed
+    #: engine (``params["engine"]``).  Differs only after an
+    #: ``on_engine_error="fallback"`` degradation (docs/robustness.md).
+    engine_used: Optional[str] = None
 
     def to_json_dict(self) -> Dict:
-        return {
+        payload = {
             "key": self.key,
             "params": self.params,
             "stats": self.stats.to_json_dict(),
@@ -108,6 +198,14 @@ class StoredRun:
             "accesses_executed": self.accesses_executed,
             "wall_clock_s": self.wall_clock_s,
         }
+        # Reliability stamps are serialised only when informative, keeping
+        # first-try records byte-identical across runs (duplicate appends of
+        # the same key stay bit-identical by construction).
+        if self.attempts != 1:
+            payload["attempts"] = self.attempts
+        if self.engine_used is not None and self.engine_used != self.params.get("engine"):
+            payload["engine_used"] = self.engine_used
+        return payload
 
     @classmethod
     def from_json_dict(cls, payload: Mapping) -> "StoredRun":
@@ -126,6 +224,8 @@ class StoredRun:
             inter_socket_bytes=payload["inter_socket_bytes"],
             accesses_executed=payload["accesses_executed"],
             wall_clock_s=payload.get("wall_clock_s", 0.0),
+            attempts=payload.get("attempts", 1),
+            engine_used=payload.get("engine_used"),
         )
 
 
@@ -152,6 +252,12 @@ class ResultsStore:
         #: Lookup accounting for cache-hit reporting (`repro campaign`/CI).
         self.hits = 0
         self.misses = 0
+        #: Corrupt/torn record lines skipped by the last load (never silent:
+        #: a non-zero count emits one :class:`StoreCorruptionWarning`).
+        self.corrupt_records = 0
+        #: ``(line_number, reason)`` for each skipped line of the last load.
+        self.corrupt_locations: List[Tuple[int, str]] = []
+        self._failure_log: Optional[FailureLog] = None
 
     # ------------------------------------------------------------------
     # Loading
@@ -165,19 +271,44 @@ class ResultsStore:
     def _load(self) -> Dict[str, StoredRun]:
         if self._index is None:
             self._index = {}
+            self.corrupt_records = 0
+            self.corrupt_locations = []
             if self.results_path.exists():
-                with self.results_path.open("r", encoding="utf-8") as handle:
-                    for line in handle:
-                        line = line.strip()
+                # errors="replace": invalid UTF-8 bytes (bit rot, partial
+                # multi-byte writes) must surface as corrupt *lines* below,
+                # not abort the whole load with a UnicodeDecodeError.
+                with self.results_path.open(
+                    "r", encoding="utf-8", errors="replace"
+                ) as handle:
+                    for lineno, raw in enumerate(handle, start=1):
+                        line = raw.strip()
                         if not line:
                             continue
                         try:
-                            record = StoredRun.from_json_dict(json.loads(line))
-                        except (ValueError, KeyError, TypeError):
-                            # A torn line from an interrupted writer (or hand
-                            # editing); the point simply reruns.
+                            record = StoredRun.from_json_dict(
+                                _decode_record_payload(line)
+                            )
+                        except (ValueError, KeyError, TypeError) as exc:
+                            # A torn line from an interrupted writer, hand
+                            # editing, or bit rot caught by the checksum; the
+                            # point simply reruns -- but never silently.
+                            self.corrupt_records += 1
+                            self.corrupt_locations.append(
+                                (lineno, f"{type(exc).__name__}: {exc}")
+                            )
                             continue
                         self._index[record.key] = record
+            if self.corrupt_records:
+                first_line, reason = self.corrupt_locations[0]
+                warnings.warn(
+                    f"{self.results_path}:{first_line}: skipped "
+                    f"{self.corrupt_records} corrupt/torn record line(s) "
+                    f"(first: {reason}); the affected points will re-run -- "
+                    f"inspect with `repro store verify {self.directory}`, "
+                    f"compact with `repro store repair {self.directory}`",
+                    StoreCorruptionWarning,
+                    stacklevel=3,
+                )
         return self._index
 
     def reload(self) -> None:
@@ -214,36 +345,371 @@ class ResultsStore:
     # Writing
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def encode_record(record: StoredRun) -> str:
+        """Serialise one record to its canonical, checksummed line (no newline).
+
+        The ``check`` field is the checksum of the canonical JSON body
+        *without* it, so any altered byte in the stored line -- even one
+        that still parses as valid JSON -- is detected on load and by
+        :meth:`verify`.
+        """
+        payload = record.to_json_dict()
+        payload["check"] = _checksum(_canonical(payload))
+        return _canonical(payload)
+
     def put(self, record: StoredRun) -> StoredRun:
         """Append ``record`` to the log and index it (durable immediately)."""
         self.directory.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record.to_json_dict(), separators=(",", ":"))
-        if self._ends_mid_line():
-            # A previous writer died mid-append; start a fresh line so the
-            # torn fragment stays isolated (the loader skips it).
-            line = "\n" + line
-        with self.results_path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        line = self.encode_record(record)
+        plan = faults.active()
+        data_override = None
+        if plan is not None:
+            # Chaos hooks (docs/robustness.md): an injected OSError models a
+            # full disk / revoked handle; a mangled line models a torn or
+            # bit-rotted append that verify/repair must catch.
+            plan.inject_store_append_fault(record.key)
+            mangled = plan.mangle_append(record.key, line + "\n")
+            if mangled != line + "\n":
+                data_override = mangled
+        _append_line(self.results_path, line, data_override=data_override)
         self._load()[record.key] = record
         return record
 
-    def _ends_mid_line(self) -> bool:
-        """True when the log exists, is non-empty and lacks a final newline."""
-        try:
-            with self.results_path.open("rb") as handle:
-                handle.seek(-1, os.SEEK_END)
-                return handle.read(1) != b"\n"
-        except (OSError, ValueError):
-            return False
-
     def clean(self) -> int:
-        """Delete every stored record; returns how many were removed."""
+        """Delete every stored record (and the quarantine sidecar).
+
+        Returns how many stored results were removed.
+        """
         removed = len(self._load())
         if self.results_path.exists():
             self.results_path.unlink()
+        self.failure_log.clear()
         self._index = {}
         self.hits = 0
         self.misses = 0
+        self.corrupt_records = 0
+        self.corrupt_locations = []
         return removed
+
+    # ------------------------------------------------------------------
+    # Quarantine sidecar
+    # ------------------------------------------------------------------
+
+    @property
+    def failures_path(self) -> Path:
+        """The quarantine sidecar next to the record log."""
+        return self.directory / FAILURES_FILE
+
+    @property
+    def failure_log(self) -> "FailureLog":
+        """The poison-point quarantine (``failures.jsonl``) of this store."""
+        if self._failure_log is None:
+            self._failure_log = FailureLog(self.failures_path)
+        return self._failure_log
+
+    # ------------------------------------------------------------------
+    # Integrity: verify and repair
+    # ------------------------------------------------------------------
+
+    def _scan(self) -> Tuple["StoreVerifyReport", Dict[str, StoredRun]]:
+        """One pass over the raw log: integrity report + salvageable records."""
+        report = StoreVerifyReport(path=self.results_path)
+        records: Dict[str, StoredRun] = {}
+        if not self.results_path.exists():
+            return report, records
+        text = self.results_path.read_text(encoding="utf-8", errors="replace")
+        ends_with_newline = text.endswith("\n")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        key_counts: Dict[str, int] = {}
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            report.total_lines += 1
+            try:
+                payload = _decode_record_payload(line)
+                if '"check":' not in line:
+                    report.unchecksummed += 1
+                record = StoredRun.from_json_dict(payload)
+            except (ValueError, KeyError, TypeError) as exc:
+                if lineno == len(lines) and not ends_with_newline:
+                    kind = "torn"       # an interrupted writer's final line
+                elif isinstance(exc, _ChecksumMismatch):
+                    kind = "checksum"   # parses, but the bytes were altered
+                else:
+                    kind = "unparsable"
+                report.issues.append(
+                    StoreIssue(lineno, kind, f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            report.valid_records += 1
+            key_counts[record.key] = key_counts.get(record.key, 0) + 1
+            records[record.key] = record    # later lines win, as in _load
+        report.unique_keys = len(key_counts)
+        report.duplicate_keys = {
+            key: count for key, count in key_counts.items() if count > 1
+        }
+        return report, records
+
+    def verify(self) -> "StoreVerifyReport":
+        """Scan the log and report corrupt, torn and duplicate records.
+
+        Pure read: the file, the in-memory index and the lookup counters are
+        all left untouched.  ``repro store verify`` prints the report and
+        exits non-zero unless :attr:`StoreVerifyReport.clean`.
+        """
+        report, _records = self._scan()
+        return report
+
+    def repair(self) -> "StoreRepairReport":
+        """Compact the log to a clean, fully-checksummed file.
+
+        Every salvageable record is rewritten in file order with duplicates
+        collapsed to their last occurrence (exactly the last-wins view reads
+        already had), corrupt/torn lines are dropped, and legacy records
+        gain checksums.  The new file is written to a temp path, fsync'd and
+        atomically renamed over the log, so a crash mid-repair leaves either
+        the old file or the new one -- never a mix.
+        """
+        report, records = self._scan()
+        if not self.results_path.exists():
+            return StoreRepairReport(path=self.results_path)
+        tmp_path = self.results_path.with_name(RESULTS_FILE + ".tmp")
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            for record in records.values():
+                handle.write(self.encode_record(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.results_path)
+        try:
+            directory_fd = os.open(self.directory, os.O_RDONLY)
+            os.fsync(directory_fd)
+            os.close(directory_fd)
+        except OSError:  # pragma: no cover - directory fsync is best-effort
+            pass
+        self._index = None      # the next lookup re-reads the clean file
+        return StoreRepairReport(
+            path=self.results_path,
+            kept=len(records),
+            dropped_corrupt=len(report.issues),
+            collapsed_duplicates=sum(
+                count - 1 for count in report.duplicate_keys.values()
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Integrity reports
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StoreIssue:
+    """One bad line found by :meth:`ResultsStore.verify`."""
+
+    lineno: int
+    #: ``torn`` (interrupted final write), ``checksum`` (altered bytes that
+    #: still parse) or ``unparsable`` (anything else).
+    kind: str
+    detail: str
+
+
+@dataclass
+class StoreVerifyReport:
+    """What :meth:`ResultsStore.verify` found in one scan of the log."""
+
+    path: Path
+    total_lines: int = 0
+    valid_records: int = 0
+    unique_keys: int = 0
+    #: Legacy records written before per-record checksums existed.
+    unchecksummed: int = 0
+    issues: List[StoreIssue] = field(default_factory=list)
+    #: ``key -> occurrence count`` for keys appearing more than once.
+    duplicate_keys: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when no corrupt/torn lines were found (duplicates are
+        normal operation: concurrent writers, last record wins)."""
+        return not self.issues
+
+    def format(self) -> str:
+        lines = [
+            f"store {self.path}: {self.total_lines} record line(s), "
+            f"{self.valid_records} valid, {self.unique_keys} unique key(s)"
+        ]
+        if self.duplicate_keys:
+            duplicates = ", ".join(
+                f"{key[:12]}... x{count}"
+                for key, count in sorted(self.duplicate_keys.items())
+            )
+            lines.append(
+                f"  {len(self.duplicate_keys)} duplicated key(s) "
+                f"(last record wins): {duplicates}"
+            )
+        if self.unchecksummed:
+            lines.append(
+                f"  {self.unchecksummed} legacy record(s) without a checksum "
+                f"(repair adds them)"
+            )
+        for issue in self.issues:
+            lines.append(f"  line {issue.lineno}: {issue.kind}: {issue.detail}")
+        lines.append(
+            "verdict: clean" if self.clean
+            else f"verdict: CORRUPT ({len(self.issues)} bad line(s); "
+                 f"run `repro store repair`)"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class StoreRepairReport:
+    """What :meth:`ResultsStore.repair` rewrote."""
+
+    path: Path
+    kept: int = 0
+    dropped_corrupt: int = 0
+    collapsed_duplicates: int = 0
+
+    def format(self) -> str:
+        return (
+            f"repaired {self.path}: kept {self.kept} record(s), dropped "
+            f"{self.dropped_corrupt} corrupt/torn line(s), collapsed "
+            f"{self.collapsed_duplicates} duplicate(s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Quarantine sidecar (failures.jsonl)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FailureRecord:
+    """One quarantined sweep point (docs/robustness.md documents the schema)."""
+
+    key: str                #: store content key of the failed point
+    params: Dict            #: the point's outcome-determining payload
+    attempts: int           #: how many attempts were made before giving up
+    error: str              #: one-line description of the final failure
+    traceback: str = ""     #: captured worker traceback of the final attempt
+    engine: str = ""        #: engine of the final attempt
+    timestamp: float = 0.0  #: quarantine wall-clock time (time.time())
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "key": self.key,
+            "params": self.params,
+            "attempts": self.attempts,
+            "error": self.error,
+            "traceback": self.traceback,
+            "engine": self.engine,
+            "timestamp": self.timestamp,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping) -> "FailureRecord":
+        return cls(
+            key=payload["key"],
+            params=dict(payload.get("params") or {}),
+            attempts=int(payload.get("attempts", 1)),
+            error=payload.get("error", ""),
+            traceback=payload.get("traceback", ""),
+            engine=payload.get("engine", ""),
+            timestamp=payload.get("timestamp", 0.0),
+        )
+
+
+class FailureLog:
+    """Append-only JSONL sidecar of quarantined points.
+
+    Same durability discipline as the results log (O_APPEND, newline guard,
+    fsync per record), but *advisory* semantics: a quarantined point is a
+    report, not a skip-list entry -- the next campaign invocation retries
+    it, because the faults the quarantine exists for are transient.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    def append(self, record: FailureRecord) -> FailureRecord:
+        if not record.timestamp:
+            record.timestamp = time.time()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        _append_line(self.path, _canonical(record.to_json_dict()))
+        return record
+
+    def records(self) -> List[FailureRecord]:
+        """Every parseable quarantine record, in append order."""
+        if not self.path.exists():
+            return []
+        records = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(FailureRecord.from_json_dict(json.loads(line)))
+                except (ValueError, KeyError, TypeError):
+                    continue        # torn final line from a killed writer
+        return records
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def clear(self) -> int:
+        """Delete the sidecar; returns how many records it held."""
+        removed = len(self.records())
+        if self.path.exists():
+            self.path.unlink()
+        return removed
+
+
+# ----------------------------------------------------------------------
+# CLI (`repro store verify|repair`)
+# ----------------------------------------------------------------------
+
+
+def build_parser():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description="Verify or repair a results store (docs/robustness.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    verify_parser = sub.add_parser(
+        "verify", help="scan for corrupt/torn/duplicate records (read-only)"
+    )
+    verify_parser.add_argument("store", help="results-store directory")
+    repair_parser = sub.add_parser(
+        "repair", help="compact to a clean, checksummed file (atomic replace)"
+    )
+    repair_parser.add_argument("store", help="results-store directory")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    store = ResultsStore(args.store)
+    if args.command == "verify":
+        report = store.verify()
+        print(report.format())
+        return 0 if report.clean else 1
+    if args.command == "repair":
+        repair_report = store.repair()
+        print(repair_report.format())
+        after = store.verify()
+        print(after.format())
+        return 0 if after.clean else 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `repro store`
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,12 @@
+"""Test-support subsystems shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+used by the chaos tests and the CI ``chaos-smoke`` job (docs/robustness.md).
+It lives inside the package -- not under ``tests/`` -- because the faults
+must be injectable into *real* campaign worker subprocesses, which import
+``repro`` but not the test tree.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

@@ -1,0 +1,257 @@
+"""Deterministic, seed-driven fault injection for chaos-testing campaigns.
+
+The execution layer's failure handling (docs/robustness.md) is only
+trustworthy if it can be exercised against *real* faults on the *real*
+subprocess path: workers that raise, workers that hang, store appends that
+fail with ``OSError`` and record lines that land truncated or corrupted on
+disk.  This module injects exactly those faults, deterministically:
+
+* Every injection decision is a pure function of ``(seed, site, key,
+  attempt)`` -- a SHA-256 roll, no global RNG state -- so a chaos run is
+  reproducible bit-for-bit from its :class:`FaultPlan`, independent of
+  worker scheduling order, and a *retry* of the same point re-rolls (the
+  attempt number participates), which is what lets an injected crash rate
+  model transient failures rather than permanent ones.
+* The plan installs through the ``REPRO_FAULTS`` environment variable (a
+  JSON object), which forked/spawned campaign workers inherit -- so the
+  chaos tests and the CI ``chaos-smoke`` job drive the production
+  ``run_sweep`` machinery unmodified, not a test double.
+
+The hooks are called from two production sites, both no-ops when no plan is
+installed: :func:`repro.experiments.runner._run_sweep_point` (worker
+entry: poison / crash / hang) and :meth:`repro.stats.store.ResultsStore.put`
+(append ``OSError`` / truncated or corrupted record lines).
+
+Example::
+
+    from repro.testing import faults
+
+    plan = faults.FaultPlan(
+        seed=7,
+        crash_rate=0.2,                      # transient worker crashes
+        poison=({"workload": "streamcluster", "protocol": "c3d"},),
+        hang_points=({"workload": "facesim"},),
+        hang_s=1.0,
+    )
+    with faults.injected(plan):
+        run_campaign(spec, store, failure_policy=FailurePolicy(...))
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, fields
+from typing import Iterator, Mapping, Optional, Tuple
+
+__all__ = [
+    "ENV_VAR",
+    "InjectedFault",
+    "FaultPlan",
+    "active",
+    "install",
+    "clear",
+    "injected",
+]
+
+#: Environment variable holding the JSON-serialised active plan; inherited
+#: by campaign worker subprocesses, which is the whole point.
+ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedFault(RuntimeError):
+    """A worker failure raised on purpose by the fault harness."""
+
+
+def _roll(seed: int, site: str, key: str, attempt: int = 0) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one injection decision.
+
+    Keyed by the decision *site* (crash/hang/...) so one point's draws are
+    independent across fault kinds, and by the attempt number so retries
+    re-roll instead of failing forever.
+    """
+    token = f"{seed}|{site}|{key}|{attempt}".encode("utf-8")
+    digest = hashlib.sha256(token).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def _matches(matcher: Mapping, payload: Mapping) -> bool:
+    """True when every ``field: value`` of ``matcher`` equals the payload's."""
+    return all(payload.get(name) == value for name, value in matcher.items())
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic recipe of faults to inject (all rates in ``[0, 1]``).
+
+    ``poison`` / ``hang_points`` are tuples of ``{field: value}`` matchers
+    compared against the sweep point's store payload (``workload``,
+    ``protocol``, ``num_sockets``, ...): a point matching any ``poison``
+    entry fails on *every* attempt (this is what the quarantine exists
+    for), a point matching any ``hang_points`` entry sleeps ``hang_s``
+    before simulating (use a hang longer than the watchdog timeout to test
+    the kill path, shorter to test that slow points still complete).
+
+    ``crash_attempts`` unconditionally crashes those attempt numbers of
+    every point -- the deterministic way to test "fails once, retry
+    succeeds" without tuning rates.
+    """
+
+    seed: int = 0
+    #: Probability that any given (point, attempt) raises InjectedFault.
+    crash_rate: float = 0.0
+    #: Attempt numbers (1-based) that always crash, for every point.
+    crash_attempts: Tuple[int, ...] = ()
+    #: Matchers for points that fail on every attempt (poison points).
+    poison: Tuple[Mapping, ...] = ()
+    #: Probability that any given (point, attempt) hangs for ``hang_s``.
+    hang_rate: float = 0.0
+    #: Matchers for points that always hang on their first attempt.
+    hang_points: Tuple[Mapping, ...] = ()
+    #: Injected hang duration in seconds.
+    hang_s: float = 30.0
+    #: Probability that a store append raises OSError before writing.
+    store_error_rate: float = 0.0
+    #: Probability that an appended record line is truncated mid-write.
+    truncate_rate: float = 0.0
+    #: Probability that an appended record line is corrupted in place.
+    corrupt_rate: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Worker faults (called at the top of the sweep-point worker)
+    # ------------------------------------------------------------------
+
+    def is_poison(self, payload: Mapping) -> bool:
+        """True when ``payload`` matches any poison matcher."""
+        return any(_matches(matcher, payload) for matcher in self.poison)
+
+    def inject_point_faults(self, key: str, payload: Mapping, attempt: int) -> None:
+        """Run the worker-side injections for one (point, attempt).
+
+        Order: hang first (a slow point), then poison / attempt-pinned /
+        rolled crashes.  Hangs sleep and return; crashes raise
+        :class:`InjectedFault`, which the retry machinery treats exactly
+        like any other worker exception.
+        """
+        hangs = any(_matches(matcher, payload) for matcher in self.hang_points)
+        if attempt > 1:
+            hangs = False  # targeted hangs fire once; retries proceed
+        if not hangs and self.hang_rate > 0.0:
+            hangs = _roll(self.seed, "hang", key, attempt) < self.hang_rate
+        if hangs:
+            time.sleep(self.hang_s)
+        if self.is_poison(payload):
+            raise InjectedFault(
+                f"injected poison-point failure (attempt {attempt}, key {key[:12]}...)"
+            )
+        if attempt in self.crash_attempts:
+            raise InjectedFault(
+                f"injected crash pinned to attempt {attempt} (key {key[:12]}...)"
+            )
+        if self.crash_rate > 0.0 and _roll(self.seed, "crash", key, attempt) < self.crash_rate:
+            raise InjectedFault(
+                f"injected worker crash (attempt {attempt}, key {key[:12]}..., "
+                f"rate {self.crash_rate})"
+            )
+
+    # ------------------------------------------------------------------
+    # Store faults (called from ResultsStore.put)
+    # ------------------------------------------------------------------
+
+    def inject_store_append_fault(self, key: str) -> None:
+        """Possibly raise the injected ``OSError`` for one append."""
+        if self.store_error_rate > 0.0 and (
+            _roll(self.seed, "store-error", key) < self.store_error_rate
+        ):
+            raise OSError(f"injected store append failure (key {key[:12]}...)")
+
+    def mangle_append(self, key: str, data: str) -> str:
+        """Possibly truncate or corrupt one record line about to be written.
+
+        ``data`` is the full line including its trailing newline.  A
+        truncation drops the tail (newline included -- a torn write, as a
+        crashed writer leaves); a corruption overwrites a mid-line slice
+        with garbage while keeping the line shape, which is exactly the
+        damage the per-record checksum exists to catch.
+        """
+        if self.truncate_rate > 0.0 and _roll(self.seed, "truncate", key) < self.truncate_rate:
+            cut = 1 + int(_roll(self.seed, "truncate-at", key) * (len(data) - 2))
+            return data[:cut]
+        if self.corrupt_rate > 0.0 and _roll(self.seed, "corrupt", key) < self.corrupt_rate:
+            body = data.rstrip("\n")
+            if len(body) > 8:
+                at = 2 + int(_roll(self.seed, "corrupt-at", key) * (len(body) - 8))
+                body = body[:at] + "!FAULT!" + body[at + 7:]
+            return body + "\n"
+        return data
+
+    # ------------------------------------------------------------------
+    # Serialisation (the env-var install path)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(f"{ENV_VAR} is not valid JSON: {exc}") from None
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"{ENV_VAR} must be a JSON object, got {payload!r}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"{ENV_VAR} has unknown field(s) {unknown}; expected a subset of "
+                f"{sorted(known)}"
+            )
+        kwargs = dict(payload)
+        for name in ("poison", "hang_points"):
+            if name in kwargs:
+                kwargs[name] = tuple(dict(m) for m in kwargs[name])
+        if "crash_attempts" in kwargs:
+            kwargs["crash_attempts"] = tuple(int(a) for a in kwargs["crash_attempts"])
+        return cls(**kwargs)
+
+
+def active() -> Optional[FaultPlan]:
+    """The installed plan, or ``None`` (the common case: no faults).
+
+    Reads the environment on every call -- the harness is only reached from
+    per-point / per-append code where one ``os.environ`` lookup is noise,
+    and re-reading means a plan installed after process start (or inherited
+    by a freshly forked worker) is always honoured.
+    """
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return None
+    return FaultPlan.from_json(text)
+
+
+def install(plan: FaultPlan) -> None:
+    """Install ``plan`` into this process's environment (workers inherit it)."""
+    os.environ[ENV_VAR] = plan.to_json()
+
+
+def clear() -> None:
+    """Remove any installed plan."""
+    os.environ.pop(ENV_VAR, None)
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager: install ``plan``, restore the previous state on exit."""
+    previous = os.environ.get(ENV_VAR)
+    install(plan)
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            clear()
+        else:
+            os.environ[ENV_VAR] = previous

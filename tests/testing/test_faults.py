@@ -1,0 +1,115 @@
+"""Tests for the deterministic fault-injection harness (repro.testing.faults)."""
+
+import pytest
+
+from repro.testing import faults
+from repro.testing.faults import FaultPlan, InjectedFault
+
+
+PAYLOAD = {"workload": "facesim", "protocol": "c3d", "num_sockets": 2}
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+
+
+def test_crash_decisions_are_deterministic():
+    plan = FaultPlan(seed=7, crash_rate=0.5)
+
+    def crashes(key: str, attempt: int) -> bool:
+        try:
+            plan.inject_point_faults(key, PAYLOAD, attempt)
+        except InjectedFault:
+            return True
+        return False
+
+    keys = [f"key-{i}" for i in range(64)]
+    first = [crashes(key, 1) for key in keys]
+    second = [crashes(key, 1) for key in keys]
+    assert first == second
+    # A 50% rate over 64 keys crashes some but not all.
+    assert any(first) and not all(first)
+    # Retries re-roll: the attempt number participates in the decision.
+    retried = [crashes(key, 2) for key in keys]
+    assert retried != first
+
+
+def test_different_seeds_draw_differently():
+    a = [faults._roll(1, "crash", f"k{i}") for i in range(32)]
+    b = [faults._roll(2, "crash", f"k{i}") for i in range(32)]
+    assert a != b
+    assert all(0.0 <= draw < 1.0 for draw in a + b)
+
+
+# ----------------------------------------------------------------------
+# Fault kinds
+# ----------------------------------------------------------------------
+
+
+def test_poison_matches_on_payload_subset():
+    plan = FaultPlan(poison=({"workload": "facesim", "protocol": "c3d"},))
+    assert plan.is_poison(PAYLOAD)
+    assert not plan.is_poison({**PAYLOAD, "protocol": "baseline"})
+    # A poison point fails on every attempt.
+    for attempt in (1, 2, 3, 17):
+        with pytest.raises(InjectedFault):
+            plan.inject_point_faults("k", PAYLOAD, attempt)
+
+
+def test_crash_attempts_pin_specific_attempts():
+    plan = FaultPlan(crash_attempts=(1,))
+    with pytest.raises(InjectedFault):
+        plan.inject_point_faults("k", PAYLOAD, 1)
+    plan.inject_point_faults("k", PAYLOAD, 2)  # retry succeeds
+
+
+def test_mangle_append_truncates_or_corrupts():
+    line = '{"key": "abc", "value": 12345, "check": "deadbeef"}\n'
+    truncated = FaultPlan(seed=1, truncate_rate=1.0).mangle_append("k", line)
+    assert line.startswith(truncated) and len(truncated) < len(line)
+    corrupted = FaultPlan(seed=1, corrupt_rate=1.0).mangle_append("k", line)
+    assert corrupted != line and len(corrupted) == len(line)
+    assert corrupted.endswith("\n") and "!FAULT!" in corrupted
+    # No rates -> the line passes through untouched.
+    assert FaultPlan().mangle_append("k", line) == line
+
+
+def test_store_append_fault_raises_oserror():
+    plan = FaultPlan(store_error_rate=1.0)
+    with pytest.raises(OSError):
+        plan.inject_store_append_fault("k")
+    FaultPlan().inject_store_append_fault("k")  # no-op without a rate
+
+
+# ----------------------------------------------------------------------
+# Env-var install path
+# ----------------------------------------------------------------------
+
+
+def test_env_round_trip_and_context_manager(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    assert faults.active() is None
+    plan = FaultPlan(
+        seed=7,
+        crash_rate=0.2,
+        crash_attempts=(1, 3),
+        poison=({"workload": "streamcluster"},),
+        hang_points=({"protocol": "baseline"},),
+        hang_s=1.5,
+        store_error_rate=0.1,
+        truncate_rate=0.05,
+        corrupt_rate=0.05,
+    )
+    with faults.injected(plan):
+        assert faults.active() == plan
+    assert faults.active() is None
+
+
+def test_from_json_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown field"):
+        FaultPlan.from_json('{"crash_rte": 0.2}')
+    with pytest.raises(ValueError, match="not valid JSON"):
+        FaultPlan.from_json("{nope")
+    with pytest.raises(ValueError, match="JSON object"):
+        FaultPlan.from_json("[1, 2]")

@@ -38,6 +38,7 @@ REQUIRED_DOCS = (
     "docs/campaigns.md",
     "docs/experiments.md",
     "docs/performance.md",
+    "docs/robustness.md",
     "docs/sampling.md",
     "docs/workloads.md",
 )

@@ -19,6 +19,10 @@ Built-ins (names are part of the results-store key contract and stable):
 ``sampled``    SMARTS-style statistical sampling: batched functional
                fast-forward + measured detail windows with per-metric
                confidence intervals (docs/sampling.md).
+``vector``     Batched columnar execution: numpy-classified windows of
+               L1 hits applied in bulk, per-access protocol path only on
+               misses; bit-identical to ``compiled``/``object``
+               (docs/performance.md, "Vectorized execution").
 =============  ======================================================
 
 See docs/architecture.md ("Execution engines") for the interface and for
@@ -35,6 +39,7 @@ from .base import (
 from .exact import CompiledEngine, ObjectEngine
 from .registry import get, names, register, unregister, validate
 from .sampled import SampledEngine
+from .vector import VectorEngine
 
 __all__ = [
     "ExecutionEngine",
@@ -43,6 +48,7 @@ __all__ = [
     "CompiledEngine",
     "ObjectEngine",
     "SampledEngine",
+    "VectorEngine",
     "register",
     "unregister",
     "get",
@@ -57,3 +63,4 @@ __all__ = [
 register(CompiledEngine)
 register(ObjectEngine)
 register(SampledEngine)
+register(VectorEngine)

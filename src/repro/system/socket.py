@@ -288,9 +288,11 @@ class Socket:
         self.stats.llc_peer_hits += 1
         self.local_directory.peer_interventions += 1
         # The owner is downgraded to Shared; the LLC copy is made current.
-        owner_line = self.l1s[owner].peek(block)
+        owner_l1 = self.l1s[owner]
+        owner_line = owner_l1.peek(block)
         if owner_line is not None:
             owner_line.state = CacheBlockState.SHARED
+            owner_l1.note_external_change(block)
         entry = self.local_directory.peek(block)
         if entry is not None:
             entry.owner = None
@@ -393,12 +395,14 @@ class Socket:
         entry = self.local_directory.peek(block)
         if entry is not None:
             for core in list(entry.sharers):
-                line = self.l1s[core].peek(block)
+                core_l1 = self.l1s[core]
+                line = core_l1.peek(block)
                 if line is not None:
                     if line.dirty:
                         was_dirty = True
                     line.state = CacheBlockState.SHARED
                     line.dirty = False
+                    core_l1.note_external_change(block)
             entry.owner = None
         llc_line = self.llc.peek(block)
         if llc_line is not None:

@@ -122,14 +122,14 @@ def test_exact_engines_identical_across_warmup_reset(protocol, engine):
     assert other.inter_socket_bytes == reference.inter_socket_bytes
 
 
+@pytest.mark.parametrize("engine", engines_under_test())
 @pytest.mark.parametrize("protocol", ["full-dir", "snoopy", "c3d-full-dir"])
-def test_exact_engines_identical_for_other_designs(protocol):
+def test_exact_engines_identical_for_other_designs(protocol, engine):
     """The remaining evaluated designs ride on the same access path."""
     reference = reference_run(protocol)
-    for engine in engines_under_test():
-        other = run_engine(protocol, engine)
-        assert other.stats.as_dict() == reference.stats.as_dict()
-        assert other.inter_socket_bytes == reference.inter_socket_bytes
+    other = run_engine(protocol, engine)
+    assert other.stats.as_dict() == reference.stats.as_dict()
+    assert other.inter_socket_bytes == reference.inter_socket_bytes
 
 
 # ----------------------------------------------------------------------

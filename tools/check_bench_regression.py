@@ -10,12 +10,14 @@ Compares the most recent record of a bench output file (the JSON list
   tolerance absorbs runner-to-runner noise; a real hot-path regression (or
   an accidentally quadratic change) lands well below it.
 * **speedups** (``--speedups``): every key of the baseline's ``speedups``
-  section -- currently the ``sampled_speedup_*`` exact-vs-sampled
-  wall-clock ratios ``repro bench --sampled`` records -- must reach its
+  section -- the ``sampled_speedup_*`` exact-vs-sampled ratios ``repro
+  bench --sampled`` records and the ``vector_speedup_*`` object-vs-vector
+  ratios recorded whenever both engines are benched -- must reach its
   committed floor.  Ratios of two runs on the same machine are largely
-  noise-immune, so the floors are applied directly (no tolerance factor);
-  this is what keeps the sampled engine's fast-forward win from silently
-  regressing.
+  noise-immune, so the floors are applied directly (no tolerance factor).
+  ``--speedups-prefix`` limits the gate to one engine family's floors, so
+  the sampling and vector CI jobs each gate only the ratios their own
+  bench invocation produced.
 
 Usage::
 
@@ -26,7 +28,14 @@ Usage::
     PYTHONPATH=src python -m repro bench --accesses 2500 --rounds 2 \
         --protocols baseline c3d --engines compiled --sampled \
         --output bench_sampled.json
-    python tools/check_bench_regression.py bench_sampled.json --speedups
+    python tools/check_bench_regression.py bench_sampled.json \
+        --speedups --speedups-prefix sampled_
+
+    PYTHONPATH=src python -m repro bench --workload hotset --scale 1 \
+        --accesses 24000 --rounds 2 --protocols baseline c3d \
+        --engines compiled object vector --output bench_vector.json
+    python tools/check_bench_regression.py bench_vector.json \
+        --speedups --speedups-prefix vector_
 
 Exits 0 when every gated value clears, 1 otherwise (listing each
 regression).  The CI ``bench-regression`` job uploads the fresh output as a
@@ -84,25 +93,36 @@ def check(record: dict, baseline: dict, tolerance: Optional[float] = None) -> Li
     return failures
 
 
-def check_speedups(record: dict, baseline: dict) -> List[str]:
+def check_speedups(
+    record: dict, baseline: dict, prefix: Optional[str] = None
+) -> List[str]:
     """Gate the record's top-level speedup ratios against committed floors.
 
     The baseline's ``speedups`` section maps record keys (e.g.
-    ``sampled_speedup_c3d``) to minimum acceptable ratios.  Ratios compare
-    two runs of the same invocation on the same machine, so the floors are
-    enforced directly -- no noise tolerance factor.
+    ``sampled_speedup_c3d``, ``vector_speedup_baseline``) to minimum
+    acceptable ratios.  Ratios compare two runs of the same invocation on
+    the same machine, so the floors are enforced directly -- no noise
+    tolerance factor.  ``prefix`` restricts the gate to floors whose key
+    starts with it, so CI jobs that each bench one engine family gate only
+    the ratios their bench invocation produced.
     """
     failures: List[str] = []
     floors = baseline.get("speedups", {})
+    if prefix:
+        floors = {key: f for key, f in floors.items() if key.startswith(prefix)}
     if not floors:
-        failures.append("baseline has no 'speedups' section to gate against")
+        failures.append(
+            f"baseline has no 'speedups' entries matching prefix {prefix!r}"
+            if prefix
+            else "baseline has no 'speedups' section to gate against"
+        )
         return failures
     for key, floor in floors.items():
         value = record.get(key)
         if value is None:
             failures.append(
-                f"{key}: missing from the bench record "
-                "(was the bench run with --sampled?)"
+                f"{key}: missing from the bench record (was the bench run "
+                "with the engines that produce this ratio?)"
             )
             continue
         verdict = "ok" if value >= floor else "REGRESSION"
@@ -131,8 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--speedups",
         action="store_true",
-        help="gate the baseline's 'speedups' section (sampled_speedup_*) "
-        "instead of the throughput measurements",
+        help="gate the baseline's 'speedups' section (sampled_speedup_*, "
+        "vector_speedup_*) instead of the throughput measurements",
+    )
+    parser.add_argument(
+        "--speedups-prefix",
+        default=None,
+        metavar="PREFIX",
+        help="with --speedups (implied), gate only floors whose key starts "
+        "with PREFIX (e.g. 'sampled_' or 'vector_')",
     )
     return parser
 
@@ -141,8 +168,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     record = latest_record(Path(args.record))
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
-    if args.speedups:
-        failures = check_speedups(record, baseline)
+    if args.speedups or args.speedups_prefix:
+        failures = check_speedups(record, baseline, args.speedups_prefix)
     else:
         failures = check(record, baseline, args.tolerance)
     stamp = record.get("timestamp", "?")

@@ -43,6 +43,33 @@ REQUIRED_DOCS = (
     "docs/workloads.md",
 )
 
+#: Load-bearing content that must survive edits to the pages above: section
+#: headings other pages and CI jobs deep-link to, and table rows that must
+#: track the code (e.g. the registered-engine table).  Matched as literal
+#: substrings of the page text.
+REQUIRED_SECTIONS = {
+    "docs/performance.md": (
+        "## Vectorized execution",
+        "vector_speedup_",
+    ),
+    "docs/architecture.md": (
+        "## Execution engines",
+        "| `vector` |",
+    ),
+}
+
+
+def missing_required_sections(root: Path) -> List[str]:
+    """``page: heading`` for each pinned section absent from its page."""
+    missing: List[str] = []
+    for rel, needles in REQUIRED_SECTIONS.items():
+        page = root / rel
+        if not page.is_file():
+            continue  # already reported by missing_required_docs
+        text = page.read_text()
+        missing.extend(f"{rel}: {needle!r}" for needle in needles if needle not in text)
+    return missing
+
 
 def repo_root() -> Path:
     """The repository root (parent of this script's directory)."""
@@ -84,6 +111,12 @@ def main(argv: List[str]) -> int:
             print(f"{len(missing)} required documentation page(s) missing:")
             for rel in missing:
                 print(f"  {rel}")
+            return 1
+        gone = missing_required_sections(root)
+        if gone:
+            print(f"{len(gone)} pinned documentation section(s) missing:")
+            for entry in gone:
+                print(f"  {entry}")
             return 1
     documents = [Path(arg).resolve() for arg in argv] or default_documents(root)
     failures: List[str] = []

@@ -9,6 +9,9 @@ Usage::
     python -m repro --trace-dir traces/facesim      # exact replay
     python -m repro --scenario het-quad             # multi-program mix
     python -m repro --sample-plan units=8,detail=150,warmup=100  # sampled run
+    python -m repro import lackey trace.out traces/imported  # external trace
+    python -m repro analyze traces/imported --clone-out clone.json
+    python -m repro --clone clone.json              # run the fitted clone
     python -m repro bench                 # throughput microbenchmark
     python -m repro bench --accesses 100  # CI-sized smoke
     python -m repro campaign run spec.json          # resumable batch runs
@@ -26,7 +29,7 @@ composition (``--scenario``, a built-in name or a JSON file);
 ``--record-trace DIR`` captures the selected workload to a trace directory
 before simulating it.
 
-Four subcommands sit in front of the single-run flags: ``bench``
+Six subcommands sit in front of the single-run flags: ``bench``
 (:mod:`repro.bench`) runs the simulator-throughput microbenchmark and
 appends to ``BENCH_throughput.json``; ``campaign``
 (:mod:`repro.experiments.campaign`) runs/inspects/cleans resumable
@@ -34,7 +37,11 @@ experiment campaigns against a persistent results store; ``report``
 (:mod:`repro.experiments.report`) renders a populated store into
 Markdown/CSV tables without re-simulating; ``store``
 (:mod:`repro.stats.store`) verifies and repairs a store's integrity
-(docs/robustness.md).  See ``docs/campaigns.md``.
+(docs/robustness.md); ``import`` (:mod:`repro.workloads.importers`)
+converts external memory traces into replayable trace directories and
+``analyze`` (:mod:`repro.workloads.analyzer`) characterises a trace
+directory into a JSON profile -- optionally fitting a synthetic clone
+(docs/ingestion.md).  See ``docs/campaigns.md``.
 """
 
 from __future__ import annotations
@@ -97,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compose the workload from a scenario: a built-in "
                              "name (repro.workloads.scenario_names()) or a "
                              "scenario JSON file")
+    parser.add_argument("--clone", default=None, metavar="JSON",
+                        help="run a fitted synthetic clone from a clone-spec "
+                             "JSON written by `repro analyze --clone-out` "
+                             "(docs/ingestion.md)")
     parser.add_argument("--record-trace", default=None, metavar="DIR",
                         help="record the selected workload to a trace directory "
                              "before simulating (replay it with --trace-dir)")
@@ -112,8 +123,15 @@ def _build_workload(args, config):
     unreadable trace directories) exit with a one-line message instead of a
     traceback.
     """
-    if args.trace_dir is not None and args.scenario is not None:
-        raise SystemExit("--trace-dir and --scenario are mutually exclusive")
+    selected = [
+        flag
+        for flag, value in (("--trace-dir", args.trace_dir),
+                            ("--scenario", args.scenario),
+                            ("--clone", args.clone))
+        if value is not None
+    ]
+    if len(selected) > 1:
+        raise SystemExit(f"{' and '.join(selected)} are mutually exclusive")
     if args.trace_dir is not None and args.record_trace is not None:
         raise SystemExit("--record-trace makes no sense with --trace-dir "
                          "(the trace is already on disk)")
@@ -124,6 +142,7 @@ def _build_workload(args, config):
             workload=args.workload,
             trace_dir=args.trace_dir,
             scenario=args.scenario,
+            clone=args.clone,
             scale=args.scale,
             accesses_per_thread=args.accesses + args.warmup,
             seed=args.seed,
@@ -153,6 +172,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .stats.store import main as store_main
 
         return store_main(argv[1:])
+    if argv and argv[0] == "import":
+        from .workloads.importers import main as import_main
+
+        return import_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from .workloads.analyzer import main as analyze_main
+
+        return analyze_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     # Engine resolution happens before any expensive work (workload

@@ -94,8 +94,10 @@ def _check_keys(mapping: Mapping, allowed: Sequence[str], where: str) -> None:
 class SweepGrid:
     """One cartesian sweep axis-set of a campaign.
 
-    ``protocols`` x (``workloads`` + ``scenarios`` + ``trace_dirs``) x
-    ``topologies`` expand to one :class:`SweepPoint` each; the scalar fields
+    ``protocols`` x (``workloads`` + ``scenarios`` + ``trace_dirs`` +
+    ``clones``) x ``topologies`` expand to one :class:`SweepPoint` each
+    (``clones`` are clone-spec JSON paths from ``repro analyze --clone-out``,
+    docs/ingestion.md); the scalar fields
     (scale, access counts, placement policy, ...) apply to every point of
     the grid and default to the campaign's settings profile.  A
     ``sample_plan`` spec string (docs/sampling.md) runs every point of the
@@ -107,6 +109,7 @@ class SweepGrid:
     workloads: Tuple[str, ...] = ()
     scenarios: Tuple[str, ...] = ()
     trace_dirs: Tuple[str, ...] = ()
+    clones: Tuple[str, ...] = ()
     #: (num_sockets, cores_per_socket) machine shapes.
     topologies: Tuple[Tuple[int, int], ...] = ()
     scale: int = 512
@@ -124,6 +127,7 @@ class SweepGrid:
             [("workload", name) for name in self.workloads]
             + [("scenario", name) for name in self.scenarios]
             + [("trace_dir", path) for path in self.trace_dirs]
+            + [("clone", path) for path in self.clones]
         )
 
     def expand(self) -> List[SweepPoint]:
@@ -146,6 +150,7 @@ class SweepGrid:
                         seed=self.seed,
                         trace_dir=value if kind == "trace_dir" else None,
                         scenario=value if kind == "scenario" else None,
+                        clone=value if kind == "clone" else None,
                         sample_plan=self.sample_plan,
                     )
                     points.append(point)
@@ -284,9 +289,11 @@ def _parse_grid(payload: Mapping, settings: ExperimentSettings, index: int) -> S
             )
     scenarios = tuple(payload.get("scenarios", ()))
     trace_dirs = tuple(payload.get("trace_dirs", ()))
-    if not (workloads or scenarios or trace_dirs):
+    clones = tuple(payload.get("clones", ()))
+    if not (workloads or scenarios or trace_dirs or clones):
         raise CampaignError(
-            f"{where}: needs at least one of 'workloads', 'scenarios', 'trace_dirs'"
+            f"{where}: needs at least one of 'workloads', 'scenarios', "
+            f"'trace_dirs', 'clones'"
         )
 
     raw_topologies = payload.get(
@@ -323,6 +330,7 @@ def _parse_grid(payload: Mapping, settings: ExperimentSettings, index: int) -> S
         workloads=workloads,
         scenarios=scenarios,
         trace_dirs=trace_dirs,
+        clones=clones,
         topologies=tuple(topologies),
         scale=payload.get("scale", settings.scale),
         accesses_per_thread=payload.get(

@@ -97,8 +97,9 @@ class SweepPoint:
     ``workload`` names a synthetic benchmark from the registry; setting
     ``trace_dir`` replays a recorded trace directory instead; setting
     ``scenario`` (a built-in name or a scenario JSON path) builds a composed
-    multi-program mix.  ``trace_dir`` and ``scenario`` are mutually
-    exclusive and both override ``workload``.
+    multi-program mix; setting ``clone`` instantiates a fitted clone-spec
+    JSON (``repro analyze --clone-out``, docs/ingestion.md).  The three are
+    mutually exclusive and each overrides ``workload``.
 
     ``sample_plan`` (a :meth:`~repro.stats.sampling.SamplingPlan.from_spec`
     string such as ``"units=8,detail=150,warmup=100"``) switches the point to
@@ -120,6 +121,7 @@ class SweepPoint:
     seed: Optional[int] = None
     trace_dir: Optional[str] = None
     scenario: Optional[str] = None
+    clone: Optional[str] = None
     sample_plan: Optional[str] = None
 
 
@@ -144,13 +146,13 @@ def sweep_point_payload(point: SweepPoint, engine: str = "compiled") -> Dict:
     """The outcome-determining payload hashed into a sweep point's store key.
 
     Every outcome-shaping :class:`SweepPoint` field participates, plus the
-    engine and the store schema version.  When ``trace_dir``/``scenario``
-    is set the ``workload`` field is ignored by the workload builder, so it
-    is normalised out of the payload -- two callers selecting the same
-    scenario with different placeholder workloads share one cached point.
-    Note that ``trace_dir``/``scenario`` are keyed by *path*, not file
-    content -- editing a trace in place requires ``repro campaign clean``
-    (see docs/campaigns.md).
+    engine and the store schema version.  When ``trace_dir``/``scenario``/
+    ``clone`` is set the ``workload`` field is ignored by the workload
+    builder, so it is normalised out of the payload -- two callers selecting
+    the same scenario with different placeholder workloads share one cached
+    point.  Note that ``trace_dir``/``scenario``/``clone`` are keyed by
+    *path*, not file content -- editing a trace in place requires
+    ``repro campaign clean`` (see docs/campaigns.md).
 
     A ``sample_plan`` switches the payload to a sampling engine -- the
     default ``sampled`` unless the caller already named one with sampling
@@ -161,8 +163,12 @@ def sweep_point_payload(point: SweepPoint, engine: str = "compiled") -> Dict:
     exact/sampled distinction itself -- yields a different key.
     """
     payload = asdict(point)
-    if point.trace_dir is not None or point.scenario is not None:
+    if point.trace_dir is not None or point.scenario is not None or point.clone is not None:
         payload["workload"] = None
+    if point.clone is None:
+        # Absent from the payload unless used, so every pre-clone store key
+        # (pinned in tests/engines/test_store_keys.py) is preserved.
+        payload.pop("clone")
     if point.sample_plan is not None:
         from .. import engines
         from ..stats.sampling import SamplingPlan
@@ -213,6 +219,7 @@ def _run_sweep_point(
         workload=point.workload,
         trace_dir=point.trace_dir,
         scenario=point.scenario,
+        clone=point.clone,
         scale=point.scale,
         accesses_per_thread=point.accesses_per_thread + point.warmup_accesses_per_thread,
         seed=point.seed,

@@ -7,11 +7,13 @@ argument; ``report`` renders rows/series as text or Markdown tables;
 append-only results store behind resumable campaigns (docs/campaigns.md);
 ``sampling`` is the SMARTS-style systematic-sampling machinery -- plans,
 per-metric confidence intervals and the sampled statistics extension
-(docs/sampling.md).
+(docs/sampling.md); ``histograms`` is the log2-bucketed counting
+histogram shared with the workload analyzer (docs/ingestion.md).
 """
 
 from .amat import AMATBreakdown, amat_breakdown, estimate_amat
 from .counters import LatencyAccumulator, SimulationStats
+from .histograms import Log2Histogram, bucket_bounds, bucket_of
 from .export import (
     export_json,
     export_series_csv,
@@ -44,6 +46,9 @@ from .store import (
 __all__ = [
     "SimulationStats",
     "LatencyAccumulator",
+    "Log2Histogram",
+    "bucket_of",
+    "bucket_bounds",
     "AMATBreakdown",
     "amat_breakdown",
     "estimate_amat",

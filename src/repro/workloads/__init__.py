@@ -12,8 +12,17 @@ Three frontends produce the per-thread access streams the simulator runs:
 All three implement the same workload protocol (``num_threads`` /
 ``stream`` / ``compiled_trace`` / ``memory_regions`` /
 ``serial_init_pages``) and run on both simulation engines.
+
+The ingestion pipeline (docs/ingestion.md) feeds the trace frontend from
+the outside world: :mod:`.importers` converts external memory traces
+(Valgrind lackey, PIN-style CSV, SynchroTrace-style events) into trace
+directories, :mod:`.analyzer` characterises any trace directory into a
+JSON profile, and :mod:`.clone` fits a synthetic :class:`WorkloadSpec`
+to a profile so a recorded workload becomes a scalable generator.
 """
 
+from .analyzer import analyze_trace_dir, analyze_workload, profile_to_markdown
+from .clone import fit_clone, load_clone, save_clone
 from .cloudsuite import CLOUDSUITE_SPECS, cloudsuite_names
 from .compiled import CompiledTrace, compile_trace, compile_workload
 from .parsec import PARSEC_SPECS, parsec_names
@@ -35,6 +44,7 @@ from .scenario import (
     load_scenario,
     scenario_names,
 )
+from .importers import IMPORTERS, ImportSummary, import_trace, importer_names
 from .spec_suite import SPEC_SPECS, spec_names
 from .synthetic import REGION_NAMES, SyntheticWorkload, WorkloadSpec
 from .trace import MemoryAccess, materialise
@@ -61,6 +71,16 @@ __all__ = [
     "write_trace",
     "compile_trace_file",
     "record_workload",
+    "IMPORTERS",
+    "ImportSummary",
+    "import_trace",
+    "importer_names",
+    "analyze_trace_dir",
+    "analyze_workload",
+    "profile_to_markdown",
+    "fit_clone",
+    "save_clone",
+    "load_clone",
     "Scenario",
     "ScenarioEntry",
     "ScenarioWorkload",

@@ -1,0 +1,354 @@
+"""Workload characterisation: trace directories -> JSON profiles.
+
+``repro analyze`` reduces any workload -- most usefully a trace directory
+imported from an external tool (:mod:`.importers`) -- to a compact JSON
+*profile* of the statistics the simulator actually responds to:
+
+* **footprint** -- unique blocks / pages / bytes touched;
+* **read/write mix** -- global, per thread, and split by private vs shared
+  data;
+* **sharing** -- how many threads touch each block (the sharing-degree
+  histogram behind the paper's private/shared classification);
+* **reuse distance** -- per-thread LRU stack distances in blocks, log2
+  bucketed (computed exactly with a Fenwick tree, not sampled);
+* **page & block locality** -- run lengths of consecutive accesses to the
+  same page / block (the block-run mean is what the cloner uses for
+  ``spatial_accesses_per_block``).
+
+The profile is pure JSON (``schema: workload-profile/v1``), deterministic
+for a given workload -- the golden test in
+``tests/workloads/test_analyzer.py`` pins one byte for byte -- and is the
+input contract of :mod:`.clone`, which fits a synthetic ``WorkloadSpec``
+to it.  See ``docs/ingestion.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..stats.histograms import Log2Histogram
+from .trace_io import TraceFormatError, TraceDirWorkload
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "analyze_trace_dir",
+    "analyze_workload",
+    "profile_to_markdown",
+    "main",
+]
+
+PROFILE_SCHEMA = "workload-profile/v1"
+
+
+class _Fenwick:
+    """Fenwick (binary indexed) tree over positions ``1..size``.
+
+    Supports the two operations exact LRU stack-distance computation needs:
+    point update and prefix sum, both O(log n).
+    """
+
+    __slots__ = ("size", "_tree")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        while index <= self.size:
+            self._tree[index] += delta
+            index += index & -index
+
+    def prefix(self, index: int) -> int:
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & -index
+        return total
+
+
+def _round(value: float) -> float:
+    return round(value, 6)
+
+
+def _ratio(part: int, whole: int) -> float:
+    return _round(part / whole) if whole else 0.0
+
+
+def analyze_workload(
+    workload,
+    *,
+    name: Optional[str] = None,
+    source: str = "<workload>",
+) -> Dict:
+    """Characterise any workload implementing the stream protocol.
+
+    Streams each thread twice (once to discover the block -> thread map,
+    once to classify accesses against it), so memory use is proportional to
+    the *footprint* -- never the trace length.  Returns the profile dict.
+    """
+    layout = getattr(workload, "layout", None)
+    if layout is None:
+        from ..memory.address import DEFAULT_LAYOUT
+
+        layout = DEFAULT_LAYOUT
+    block_size = layout.block_size
+    page_size = layout.page_size
+    num_threads = workload.num_threads
+
+    # -- pass 1: footprint and the block -> thread-set map -------------------
+    block_threads: Dict[int, int] = {}
+    pages = set()
+    thread_accesses = [0] * num_threads
+    thread_writes = [0] * num_threads
+    thread_blocks = [0] * num_threads
+    gap_total = 0
+    for tid in range(num_threads):
+        bit = 1 << tid
+        seen = 0
+        for access in workload.stream(tid):
+            block = access.addr // block_size
+            mask = block_threads.get(block, 0)
+            if not mask & bit:
+                block_threads[block] = mask | bit
+                seen += 1
+            pages.add(access.addr // page_size)
+            thread_accesses[tid] += 1
+            if access.is_write:
+                thread_writes[tid] += 1
+            gap_total += access.gap
+        thread_blocks[tid] = seen
+    total_accesses = sum(thread_accesses)
+    if total_accesses == 0:
+        raise TraceFormatError(f"{source}: workload contains no memory accesses")
+
+    shared_blocks = sum(1 for mask in block_threads.values() if mask & (mask - 1))
+    degree_hist: Dict[int, int] = {}
+    for mask in block_threads.values():
+        degree = bin(mask).count("1")
+        degree_hist[degree] = degree_hist.get(degree, 0) + 1
+
+    # -- pass 2: reuse distance, locality runs, private/shared classification
+    reuse = Log2Histogram()
+    cold_accesses = 0
+    page_runs = Log2Histogram()
+    block_run_total = 0
+    block_run_count = 0
+    private_counts = [0, 0]  # [reads, writes] to single-thread blocks
+    shared_counts = [0, 0]
+    for tid in range(num_threads):
+        if thread_accesses[tid] == 0:
+            continue
+        fenwick = _Fenwick(thread_accesses[tid])
+        last_position: Dict[int, int] = {}
+        position = 0
+        current_page = current_block = None
+        page_run = block_run = 0
+        for access in workload.stream(tid):
+            block = access.addr // block_size
+            page = access.addr // page_size
+
+            position += 1
+            previous = last_position.get(block)
+            if previous is None:
+                cold_accesses += 1
+            else:
+                reuse.add(fenwick.prefix(position - 1) - fenwick.prefix(previous))
+                fenwick.add(previous, -1)
+            fenwick.add(position, 1)
+            last_position[block] = position
+
+            if page == current_page:
+                page_run += 1
+            else:
+                if current_page is not None:
+                    page_runs.add(page_run)
+                current_page, page_run = page, 1
+            if block == current_block:
+                block_run += 1
+            else:
+                if current_block is not None:
+                    block_run_total += block_run
+                    block_run_count += 1
+                current_block, block_run = block, 1
+
+            mask = block_threads[block]
+            counts = shared_counts if mask & (mask - 1) else private_counts
+            counts[access.is_write] += 1
+        page_runs.add(page_run)
+        block_run_total += block_run
+        block_run_count += 1
+
+    total_writes = sum(thread_writes)
+    private_accesses = private_counts[0] + private_counts[1]
+    shared_accesses = shared_counts[0] + shared_counts[1]
+    return {
+        "schema": PROFILE_SCHEMA,
+        "name": name or getattr(workload, "name", "workload"),
+        "source": str(source),
+        "num_threads": num_threads,
+        "block_size": block_size,
+        "page_size": page_size,
+        "total_accesses": total_accesses,
+        "total_reads": total_accesses - total_writes,
+        "total_writes": total_writes,
+        "write_fraction": _ratio(total_writes, total_accesses),
+        "mean_gap": _round(gap_total / total_accesses),
+        "footprint": {
+            "unique_blocks": len(block_threads),
+            "unique_pages": len(pages),
+            "bytes": len(block_threads) * block_size,
+        },
+        "per_thread": [
+            {
+                "thread": tid,
+                "accesses": thread_accesses[tid],
+                "writes": thread_writes[tid],
+                "unique_blocks": thread_blocks[tid],
+            }
+            for tid in range(num_threads)
+        ],
+        "sharing": {
+            "private_blocks": len(block_threads) - shared_blocks,
+            "shared_blocks": shared_blocks,
+            "shared_block_fraction": _ratio(shared_blocks, len(block_threads)),
+            "private_accesses": private_accesses,
+            "shared_accesses": shared_accesses,
+            "shared_access_fraction": _ratio(shared_accesses, total_accesses),
+            "write_fraction_private": _ratio(private_counts[1], private_accesses),
+            "write_fraction_shared": _ratio(shared_counts[1], shared_accesses),
+            "sharing_degree_histogram": {
+                str(degree): degree_hist[degree] for degree in sorted(degree_hist)
+            },
+        },
+        "reuse_distance": {
+            "cold_accesses": cold_accesses,
+            "histogram": reuse.to_json_dict(),
+            "median_lower_bound": reuse.quantile(0.5) if reuse.total else None,
+        },
+        "page_locality": {
+            "runs": page_runs.total,
+            "histogram": page_runs.to_json_dict(),
+            "mean_run_length": _ratio(total_accesses, page_runs.total),
+        },
+        "block_locality": {
+            "runs": block_run_count,
+            "mean_run_length": _ratio(block_run_total, block_run_count),
+        },
+    }
+
+
+def analyze_trace_dir(directory: Union[str, Path]) -> Dict:
+    """Load a trace directory and return its profile dict."""
+    workload = TraceDirWorkload(directory)
+    return analyze_workload(workload, name=workload.name, source=str(directory))
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def profile_to_markdown(profile: Dict) -> str:
+    """Render a profile as the Markdown report printed by ``repro analyze``."""
+    footprint = profile["footprint"]
+    sharing = profile["sharing"]
+    lines: List[str] = [
+        f"# Workload profile: {profile['name']}",
+        "",
+        f"Source: `{profile['source']}`",
+        "",
+        "| metric | value |",
+        "| --- | --- |",
+        f"| threads | {profile['num_threads']} |",
+        f"| accesses | {profile['total_accesses']} |",
+        f"| write fraction | {profile['write_fraction']:.3f} |",
+        f"| mean gap (instructions) | {profile['mean_gap']:.2f} |",
+        f"| footprint | {footprint['bytes']} B "
+        f"({footprint['unique_blocks']} blocks / {footprint['unique_pages']} pages) |",
+        f"| shared blocks | {sharing['shared_blocks']} "
+        f"({100 * sharing['shared_block_fraction']:.1f}%) |",
+        f"| accesses to shared data | {sharing['shared_accesses']} "
+        f"({100 * sharing['shared_access_fraction']:.1f}%) |",
+        f"| write fraction (private / shared) | "
+        f"{sharing['write_fraction_private']:.3f} / "
+        f"{sharing['write_fraction_shared']:.3f} |",
+        "",
+        "## Sharing degree (threads per block)",
+        "",
+        "| degree | blocks |",
+        "| --- | --- |",
+    ]
+    for degree, count in sharing["sharing_degree_histogram"].items():
+        lines.append(f"| {degree} | {count} |")
+    reuse = Log2Histogram.from_json_dict(profile["reuse_distance"]["histogram"])
+    lines += [
+        "",
+        "## Reuse distance (blocks, log2 buckets)",
+        "",
+        f"Cold (first-touch) accesses: {profile['reuse_distance']['cold_accesses']}",
+        "",
+        reuse.format_markdown(value_label="reuse distance"),
+        "",
+        "## Page-run lengths (log2 buckets)",
+        "",
+        Log2Histogram.from_json_dict(profile["page_locality"]["histogram"]).format_markdown(
+            value_label="run length"
+        ),
+    ]
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# CLI (`repro analyze ...`)
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Characterise a trace directory into a JSON workload "
+        "profile (docs/ingestion.md).",
+    )
+    parser.add_argument("trace_dir", help="trace directory to analyse")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write the profile as JSON ('-' for stdout)")
+    parser.add_argument("--clone-out", default=None, metavar="FILE",
+                        help="fit a synthetic clone to the profile and write "
+                             "its spec JSON here")
+    parser.add_argument("--clone-name", default=None,
+                        help="name for the fitted clone (default: <name>-clone)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the Markdown report on stdout")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        profile = analyze_trace_dir(args.trace_dir)
+    except (TraceFormatError, FileNotFoundError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    payload = json.dumps(profile, indent=2) + "\n"
+    if args.json == "-":
+        sys.stdout.write(payload)
+    elif args.json:
+        Path(args.json).write_text(payload)
+    if not args.quiet and args.json != "-":
+        sys.stdout.write(profile_to_markdown(profile))
+    if args.clone_out:
+        from .clone import fit_clone, save_clone
+
+        spec, accesses = fit_clone(profile, name=args.clone_name)
+        save_clone(args.clone_out, spec, accesses_per_thread=accesses, profile=profile)
+        if not args.quiet:
+            print(f"clone spec written to {args.clone_out} ({spec.name})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `repro analyze`
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Synthetic workload cloning: fit a ``WorkloadSpec`` to an analyzer profile.
+
+The closing move of the ingestion pipeline (``docs/ingestion.md``): given
+the JSON profile ``repro analyze`` extracted from an imported trace,
+:func:`fit_clone` parameterises a :class:`~.synthetic.WorkloadSpec` whose
+generated stream matches the profile's first-order statistics --
+
+* **access mix** -- the private/shared access split maps onto the spec's
+  ``p_private`` / ``p_warm`` mass (imported traces carry no hot/cold
+  temperature information, so the shared mass is modelled as one warm
+  region);
+* **read/write mix** -- per-class write fractions are copied verbatim;
+* **footprint** -- private-per-thread and shared region sizes are taken
+  from the observed unique bytes, rounded up to whole pages;
+* **stream shape** -- ``mean_gap`` and ``spatial_accesses_per_block`` come
+  from the profile's gap mean and block-run mean.
+
+What a clone is *for*: the original trace is a single fixed recording, but
+its clone is a generator -- scalable to other thread counts, trace lengths
+and region scales, usable anywhere a synthetic workload is (scenarios,
+campaign grids via the ``clones`` axis, engine differential tests).
+Fidelity is statistical, not per-access: the clone-fidelity test
+(``tests/workloads/test_clone.py``) holds the write fraction to within
++-0.05, the shared-access fraction to within +-0.1, and the footprint to
+within a factor of 2, and those tolerances are this module's contract.
+Clones are deterministic: same profile + same seed -> identical streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from .synthetic import SyntheticWorkload, WorkloadSpec
+from .trace_io import TraceFormatError
+
+__all__ = ["CLONE_SCHEMA", "fit_clone", "save_clone", "load_clone"]
+
+CLONE_SCHEMA = "workload-clone/v1"
+
+_PAGE = 4096
+
+
+def _pages(num_bytes: float) -> int:
+    """Round a byte count up to whole pages (minimum one page)."""
+    return max(_PAGE, int(-(-num_bytes // _PAGE)) * _PAGE)
+
+
+def fit_clone(
+    profile: Dict,
+    *,
+    name: Optional[str] = None,
+    seed: int = 1234,
+) -> Tuple[WorkloadSpec, int]:
+    """Fit a synthetic spec to an analyzer profile.
+
+    Returns ``(spec, accesses_per_thread)`` -- the trace length is not part
+    of :class:`WorkloadSpec`, so it rides alongside.  Raises
+    :class:`TraceFormatError` if ``profile`` is not a ``workload-profile/v1``
+    document.
+    """
+    schema = profile.get("schema")
+    if schema != "workload-profile/v1":
+        raise TraceFormatError(
+            f"cannot fit a clone: expected a workload-profile/v1 document, "
+            f"got schema {schema!r}"
+        )
+    num_threads = int(profile["num_threads"])
+    total = int(profile["total_accesses"])
+    sharing = profile["sharing"]
+    block_size = int(profile["block_size"])
+
+    p_private = sharing["private_accesses"] / total
+    p_warm = 1.0 - p_private
+
+    # Region sizes from observed unique bytes.  The generator draws blocks
+    # uniformly, so an N-block region yields < N unique blocks for short
+    # traces -- the factor-of-2 footprint tolerance absorbs that.
+    private_bytes = _pages(
+        sharing["private_blocks"] * block_size / max(1, num_threads)
+    )
+    warm_bytes = _pages(sharing["shared_blocks"] * block_size) if p_warm > 0 else 0
+
+    spec = WorkloadSpec(
+        name=name or f"{profile['name']}-clone",
+        num_threads=num_threads,
+        private_bytes_per_thread=private_bytes if p_private > 0 else 0,
+        hot_shared_bytes=0,
+        warm_shared_bytes=warm_bytes,
+        cold_shared_bytes=0,
+        p_private=p_private,
+        p_hot=0.0,
+        p_warm=p_warm,
+        p_cold=0.0,
+        write_fraction_private=float(sharing["write_fraction_private"]),
+        write_fraction_hot=0.0,
+        write_fraction_warm=float(sharing["write_fraction_shared"]),
+        write_fraction_cold=0.0,
+        mean_gap=max(0, round(float(profile["mean_gap"]))),
+        spatial_accesses_per_block=max(
+            1, round(float(profile["block_locality"]["mean_run_length"]))
+        ),
+        seed=seed,
+        description=f"synthetic clone fitted to {profile['source']}",
+    )
+    accesses_per_thread = max(1, round(total / num_threads))
+    return spec, accesses_per_thread
+
+
+def save_clone(
+    path: Union[str, Path],
+    spec: WorkloadSpec,
+    *,
+    accesses_per_thread: int,
+    profile: Optional[Dict] = None,
+) -> None:
+    """Write a clone-spec JSON document (``workload-clone/v1``)."""
+    payload = {
+        "schema": CLONE_SCHEMA,
+        "accesses_per_thread": accesses_per_thread,
+        "spec": dataclasses.asdict(spec),
+    }
+    if profile is not None:
+        payload["fitted_from"] = {
+            "name": profile.get("name"),
+            "source": profile.get("source"),
+            "total_accesses": profile.get("total_accesses"),
+        }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_clone(
+    path: Union[str, Path],
+    *,
+    scale: int = 1,
+    num_threads: Optional[int] = None,
+    seed: Optional[int] = None,
+    accesses_per_thread: Optional[int] = None,
+) -> SyntheticWorkload:
+    """Load a clone-spec JSON file into a runnable :class:`SyntheticWorkload`.
+
+    The overrides make one clone file a whole sweepable family: campaigns
+    re-run it at other scales, thread counts, seeds and trace lengths.
+    Raises :class:`TraceFormatError` for a missing/invalid document.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise TraceFormatError(f"{path}: no such clone spec") from None
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}: invalid clone spec JSON ({exc})") from None
+    if not isinstance(payload, dict) or payload.get("schema") != CLONE_SCHEMA:
+        raise TraceFormatError(
+            f"{path}: expected a {CLONE_SCHEMA} document, "
+            f"got schema {payload.get('schema') if isinstance(payload, dict) else None!r}"
+        )
+    try:
+        spec = WorkloadSpec(**payload["spec"])
+        accesses = int(payload["accesses_per_thread"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"{path}: malformed clone spec ({exc})") from None
+    if seed is not None:
+        spec = dataclasses.replace(spec, seed=seed)
+    if num_threads is not None:
+        spec = spec.with_threads(num_threads)
+    if scale != 1:
+        spec = spec.scaled(scale)
+    if accesses_per_thread is not None:
+        accesses = accesses_per_thread
+    return SyntheticWorkload(spec, accesses_per_thread=accesses)

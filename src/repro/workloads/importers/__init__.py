@@ -1,0 +1,134 @@
+"""External-trace importers: turn foreign memory traces into trace directories.
+
+The record/replay loop of :mod:`repro.workloads.trace_io` can replay only
+its own trace-directory format; this package ingests traces produced by
+*external* tools into that format, so any recorded real-world workload
+becomes a simulator scenario (and, through the analyzer and cloner, a whole
+parameterised scenario family -- see ``docs/ingestion.md``):
+
+=============  ===============================================  ==========
+format token   source                                           module
+=============  ===============================================  ==========
+``lackey``     Valgrind ``--tool=lackey --trace-mem=yes``       :mod:`.lackey`
+``pin``        PIN-style CSV (``tid,op,addr[,size[,gap]]``)     :mod:`.pin_csv`
+``synchrotrace``  SynchroTrace-style event traces               :mod:`.synchrotrace`
+=============  ===============================================  ==========
+
+All importers stream-convert in bounded memory, accept gzipped sources
+transparently (``.gz``), raise located
+:class:`~repro.workloads.trace_io.TraceFormatError` messages on any
+malformed input, and synthesise the manifest's thread count and
+memory-region hints from the pages each thread touched.  ``repro import
+FORMAT SRC DEST`` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..trace_io import TRACE_FORMATS, TraceFormatError
+from .base import ImportSummary, TraceDirEmitter, numbered_lines, run_import
+from .lackey import import_lackey, parse_lackey
+from .pin_csv import import_pin_csv, parse_pin_csv
+from .synchrotrace import import_synchrotrace, parse_synchrotrace
+
+__all__ = [
+    "IMPORTERS",
+    "ImportSummary",
+    "TraceDirEmitter",
+    "import_trace",
+    "importer_names",
+    "import_lackey",
+    "import_pin_csv",
+    "import_synchrotrace",
+    "parse_lackey",
+    "parse_pin_csv",
+    "parse_synchrotrace",
+    "numbered_lines",
+    "run_import",
+    "main",
+]
+
+#: Format token -> importer function, the single authority on importer names.
+IMPORTERS: Dict[str, Callable[..., ImportSummary]] = {
+    "lackey": import_lackey,
+    "pin": import_pin_csv,
+    "synchrotrace": import_synchrotrace,
+}
+
+
+def importer_names() -> List[str]:
+    """Registered external-format tokens, in registry order."""
+    return list(IMPORTERS)
+
+
+def import_trace(source_format: str, source, directory, **kwargs) -> ImportSummary:
+    """Import ``source`` (a file in ``source_format``) into ``directory``.
+
+    Dispatches on :data:`IMPORTERS`; all keyword arguments (``name``,
+    ``trace_format``, ``layout``, ``synthesize_regions``) are forwarded to
+    the concrete importer.  Raises :class:`TraceFormatError` for an unknown
+    format token and for any malformed input.
+    """
+    importer = IMPORTERS.get(source_format)
+    if importer is None:
+        raise TraceFormatError(
+            f"unknown import format {source_format!r}; "
+            f"expected one of {importer_names()}"
+        )
+    return importer(source, directory, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# CLI (`repro import ...`)
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro import",
+        description="Convert an external memory trace into a replayable "
+        "trace directory (docs/ingestion.md).",
+    )
+    parser.add_argument("format", choices=importer_names(),
+                        help="external trace format of SOURCE")
+    parser.add_argument("source", help="trace file to import (.gz accepted)")
+    parser.add_argument("directory", help="destination trace directory")
+    parser.add_argument("--name", default=None,
+                        help="workload name recorded in the manifest "
+                             "(default: the source file's stem)")
+    parser.add_argument("--trace-format", default="csv", choices=list(TRACE_FORMATS),
+                        help="on-disk format of the emitted per-core files")
+    parser.add_argument("--no-regions", action="store_true",
+                        help="skip memory-region synthesis (replay then uses "
+                             "plain dynamic first-touch and no DRAM-cache "
+                             "prewarm)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not Path(args.source).is_file():
+        print(f"error: {args.source}: no such trace file", file=sys.stderr)
+        return 1
+    try:
+        summary = import_trace(
+            args.format,
+            args.source,
+            args.directory,
+            name=args.name,
+            trace_format=args.trace_format,
+            synthesize_regions=not args.no_regions,
+        )
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(summary.format_line())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `repro import`
+    sys.exit(main())

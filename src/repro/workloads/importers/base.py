@@ -1,0 +1,337 @@
+"""Shared machinery for external-trace importers.
+
+Every importer (:mod:`.lackey`, :mod:`.pin_csv`, :mod:`.synchrotrace`)
+is a thin line parser that yields ``(thread_id, addr, is_write, gap)``
+tuples; everything else -- streaming the records into one trace file per
+core, validating ranges, synthesising the trace-directory manifest
+(thread count, address layout, memory-region hints derived from the pages
+each thread touched) -- lives here, so the three formats behave
+identically under the property-test wall in
+``tests/workloads/test_importers.py``.
+
+Design constraints, in the order they shaped the code:
+
+* **Bounded memory.**  Records are written through per-thread buffered
+  writers the moment they are parsed; peak memory is proportional to the
+  thread count plus the page *footprint* (for region synthesis), never to
+  the trace length.
+* **Located errors.**  Any malformed input raises
+  :class:`~repro.workloads.trace_io.TraceFormatError` naming the source
+  file and 1-based line number; a gzip-corrupted source names the file.
+  Importing never silently produces garbage
+  (``tests/workloads/test_malformed_corpus.py``).
+* **Byte-identical output.**  The emitted per-core files use exactly the
+  byte layout of :func:`~repro.workloads.trace_io.write_trace`, so
+  re-recording the imported :class:`~repro.workloads.trace_io.TraceDirWorkload`
+  with ``record_workload`` reproduces the files byte-for-byte, and
+  importing a source twice (or its gzipped variant) is deterministic.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ...memory.address import DEFAULT_LAYOUT, AddressLayout
+from ..trace_io import (
+    BINARY_MAGIC,
+    TRACE_FORMATS,
+    TraceFormatError,
+    _CSV_HEADER,
+    _MANIFEST_NAME,
+    _open,
+    _RECORD,
+    _trace_file_name,
+)
+
+__all__ = [
+    "ImportSummary",
+    "ParsedRecord",
+    "TraceDirEmitter",
+    "numbered_lines",
+    "run_import",
+]
+
+#: One parsed external record: (thread_id, addr, is_write, gap).
+ParsedRecord = Tuple[int, int, bool, int]
+
+_INT64_MAX = 2**63 - 1
+_INT32_MAX = 2**31 - 1
+
+#: Records buffered per thread before flushing to its trace file.
+_WRITE_CHUNK = 8192
+
+#: Marker owner for pages touched by more than one thread.
+_SHARED = -1
+
+
+def numbered_lines(path: Union[str, Path]) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, line)`` from a text source, transparently gunzipping.
+
+    Decoding never raises (undecodable bytes surface as replacement
+    characters and fail the field parsers with a located message instead);
+    gzip-level corruption -- truncated stream, bad CRC, not actually gzip --
+    is converted to :class:`TraceFormatError` naming the file.
+    """
+    path = Path(path)
+    if str(path).endswith(".gz"):
+        handle: IO = gzip.open(path, "rt", encoding="utf-8", errors="replace", newline="")
+    else:
+        handle = open(path, "r", encoding="utf-8", errors="replace", newline="")
+    lineno = 0
+    try:
+        with handle:
+            while True:
+                try:
+                    line = handle.readline()
+                except (EOFError, gzip.BadGzipFile, OSError) as exc:
+                    raise TraceFormatError(
+                        f"{path}: corrupt gzip stream after line {lineno} ({exc})"
+                    ) from None
+                if not line:
+                    return
+                lineno += 1
+                yield lineno, line
+    except (EOFError, gzip.BadGzipFile) as exc:  # raised by open/close paths
+        raise TraceFormatError(f"{path}: corrupt gzip stream ({exc})") from None
+
+
+@dataclass
+class ImportSummary:
+    """Outcome of one import: where the trace directory landed and its shape."""
+
+    directory: Path
+    source: Path
+    format: str
+    num_threads: int
+    records_per_thread: List[int]
+    shared_pages: int
+    private_pages: int
+    regions: int
+
+    @property
+    def total_records(self) -> int:
+        return sum(self.records_per_thread)
+
+    def format_line(self) -> str:
+        """One human-readable summary line (printed by ``repro import``)."""
+        return (
+            f"imported {self.total_records} accesses / {self.num_threads} thread(s) "
+            f"[{self.format}] -> {self.directory} "
+            f"({self.private_pages} private + {self.shared_pages} shared pages, "
+            f"{self.regions} synthesised regions)"
+        )
+
+
+class _ThreadWriter:
+    """Buffered per-thread trace-file writer, byte-identical to write_trace.
+
+    CSV output starts with the standard header line; binary output with the
+    ``C3DTRC01`` magic.  Records are flushed in chunks so an arbitrarily
+    long thread streams in constant memory.
+    """
+
+    def __init__(self, path: Path, trace_format: str) -> None:
+        self.path = path
+        self.binary = trace_format.startswith("bin")
+        self.count = 0
+        if self.binary:
+            self._handle = _open(path, "wb")
+            self._handle.write(BINARY_MAGIC)
+            self._buffer_b = bytearray()
+        else:
+            self._handle = _open(path, "w")
+            self._handle.write(_CSV_HEADER + "\n")
+            self._buffer_t: List[str] = []
+
+    def write(self, addr: int, is_write: bool, gap: int) -> None:
+        self.count += 1
+        if self.binary:
+            self._buffer_b += _RECORD.pack(addr, 1 if is_write else 0, gap)
+            if len(self._buffer_b) >= _RECORD.size * _WRITE_CHUNK:
+                self._handle.write(self._buffer_b)
+                self._buffer_b.clear()
+        else:
+            self._buffer_t.append(f"{addr},{1 if is_write else 0},{gap}\n")
+            if len(self._buffer_t) >= _WRITE_CHUNK:
+                self._handle.write("".join(self._buffer_t))
+                self._buffer_t.clear()
+
+    def close(self) -> None:
+        if self.binary:
+            if self._buffer_b:
+                self._handle.write(self._buffer_b)
+        elif self._buffer_t:
+            self._handle.write("".join(self._buffer_t))
+        self._handle.close()
+
+
+class TraceDirEmitter:
+    """Streams parsed records into a trace directory, then writes the manifest.
+
+    Per-thread writers open lazily on the first record of each thread;
+    threads the source never mentions below the maximum thread id get empty
+    trace files so the directory satisfies ``TraceDirWorkload``'s
+    one-file-per-thread contract.  Alongside the records the emitter tracks
+    which pages each thread touched, from which :meth:`close` synthesises
+    the manifest's ``memory_regions`` hint: contiguous page runs touched by
+    exactly one thread become that thread's ``private`` regions, runs
+    touched by several threads become shared ``warm`` regions (the middle
+    DRAM-cache prewarm priority -- an imported trace carries no hot/cold
+    information).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        source: Union[str, Path],
+        name: str,
+        source_format: str = "external",
+        trace_format: str = "csv",
+        layout: Optional[AddressLayout] = None,
+        synthesize_regions: bool = True,
+    ) -> None:
+        if trace_format not in TRACE_FORMATS:
+            raise TraceFormatError(
+                f"unknown trace format {trace_format!r}; expected one of {TRACE_FORMATS}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.source = Path(source)
+        self.name = name
+        self.source_format = source_format
+        self.trace_format = trace_format
+        self.layout = layout or DEFAULT_LAYOUT
+        self.synthesize_regions = synthesize_regions
+        self._writers: Dict[int, _ThreadWriter] = {}
+        self._page_owner: Dict[int, int] = {}
+
+    def _writer(self, thread_id: int) -> _ThreadWriter:
+        writer = self._writers.get(thread_id)
+        if writer is None:
+            path = self.directory / _trace_file_name(thread_id, self.trace_format)
+            writer = _ThreadWriter(path, self.trace_format)
+            self._writers[thread_id] = writer
+        return writer
+
+    def emit(self, where: str, thread_id: int, addr: int, is_write: bool, gap: int) -> None:
+        """Validate and append one record (``where`` = ``file:line`` context)."""
+        if thread_id < 0:
+            raise TraceFormatError(f"{where}: thread id must be non-negative, got {thread_id}")
+        if not 0 <= addr <= _INT64_MAX:
+            raise TraceFormatError(
+                f"{where}: address {addr:#x} outside the supported [0, 2**63) range"
+            )
+        if not 0 <= gap <= _INT32_MAX:
+            raise TraceFormatError(
+                f"{where}: instruction gap {gap} outside the supported [0, 2**31) range"
+            )
+        self._writer(thread_id).write(addr, is_write, gap)
+        if self.synthesize_regions:
+            page = addr // self.layout.page_size
+            owner = self._page_owner.get(page)
+            if owner is None:
+                self._page_owner[page] = thread_id
+            elif owner != thread_id:
+                self._page_owner[page] = _SHARED
+
+    # -- finishing ----------------------------------------------------------
+
+    def _synthesised_regions(self) -> List[Dict]:
+        """Contiguous page runs -> memory_regions records (manifest order)."""
+        page_size = self.layout.page_size
+        regions: List[Dict] = []
+        run_start = run_end = run_owner = None
+        for page in sorted(self._page_owner):
+            owner = self._page_owner[page]
+            if run_start is not None and page == run_end + 1 and owner == run_owner:
+                run_end = page
+                continue
+            if run_start is not None:
+                regions.append(_region(run_start, run_end, run_owner, page_size))
+            run_start = run_end = page
+            run_owner = owner
+        if run_start is not None:
+            regions.append(_region(run_start, run_end, run_owner, page_size))
+        return regions
+
+    def close(self) -> ImportSummary:
+        """Flush every writer, fill thread gaps, write the manifest."""
+        if not self._writers:
+            raise TraceFormatError(f"{self.source}: contains no memory accesses")
+        num_threads = max(self._writers) + 1
+        for thread_id in range(num_threads):
+            self._writer(thread_id)  # materialise empty files for gaps
+        lengths = []
+        for thread_id in range(num_threads):
+            writer = self._writers[thread_id]
+            writer.close()
+            lengths.append(writer.count)
+        regions = self._synthesised_regions() if self.synthesize_regions else []
+        shared = sum(1 for owner in self._page_owner.values() if owner == _SHARED)
+        manifest = {
+            "format_version": 1,
+            "name": self.name,
+            "num_threads": num_threads,
+            "trace_format": self.trace_format,
+            "block_size": self.layout.block_size,
+            "page_size": self.layout.page_size,
+            "accesses_per_thread": lengths,
+            "memory_regions": regions,
+            "imported_from": {"source": str(self.source), "format": self.source_format},
+        }
+        (self.directory / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+        return ImportSummary(
+            directory=self.directory,
+            source=self.source,
+            format=self.source_format,
+            num_threads=num_threads,
+            records_per_thread=lengths,
+            shared_pages=shared,
+            private_pages=len(self._page_owner) - shared,
+            regions=len(regions),
+        )
+
+
+def _region(first_page: int, last_page: int, owner: int, page_size: int) -> Dict:
+    return {
+        "kind": "private" if owner != _SHARED else "warm",
+        "base": first_page * page_size,
+        "size": (last_page - first_page + 1) * page_size,
+        "owner_thread": owner if owner != _SHARED else None,
+    }
+
+
+def run_import(
+    source_format: str,
+    records: Iterable[Tuple[str, int, int, bool, int]],
+    source: Union[str, Path],
+    directory: Union[str, Path],
+    *,
+    name: Optional[str] = None,
+    trace_format: str = "csv",
+    layout: Optional[AddressLayout] = None,
+    synthesize_regions: bool = True,
+) -> ImportSummary:
+    """Drive one import: stream parsed records into a trace directory.
+
+    ``records`` yields ``(where, thread_id, addr, is_write, gap)`` -- the
+    importer's parse generator; ``where`` is the ``file:line`` context used
+    in validation errors.  Returns the :class:`ImportSummary`.
+    """
+    emitter = TraceDirEmitter(
+        directory,
+        source=source,
+        name=name or Path(source).stem,
+        source_format=source_format,
+        trace_format=trace_format,
+        layout=layout,
+        synthesize_regions=synthesize_regions,
+    )
+    for where, thread_id, addr, is_write, gap in records:
+        emitter.emit(where, thread_id, addr, is_write, gap)
+    return emitter.close()

@@ -1,0 +1,111 @@
+"""Importer for Valgrind lackey memory traces (``--tool=lackey --trace-mem=yes``).
+
+Lackey prints one line per instruction fetch or data access::
+
+    I  0023C790,2
+     L 04222cac,1
+     S 04222cb0,4
+     M 0421339c,4
+
+* ``I`` -- instruction fetch (column 0).  Instruction fetches are not
+  memory-trace records here; each one adds one instruction to the *gap* of
+  the next data access, modelling the 1-IPC core's non-memory work.
+* ``L`` / ``S`` -- data load / store (indented by one space in real lackey
+  output; leading whitespace is not significant to this parser).
+* ``M`` -- modify: an atomic read-modify-write, imported as a load followed
+  by a store to the same address with zero gap in between.
+
+Addresses are hexadecimal (a ``0x`` prefix is tolerated), the field after
+the comma is the access size in bytes.  Valgrind banner lines (``==pid==``)
+and blank lines are skipped.  Lackey traces carry no thread information, so
+the imported trace directory always has exactly one thread; accesses wider
+than one block are recorded at their start address (see
+``docs/ingestion.md`` for the full format notes and limits).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+from ...memory.address import AddressLayout
+from ..trace_io import TraceFormatError
+from .base import ImportSummary, numbered_lines, run_import
+
+__all__ = ["import_lackey", "parse_lackey"]
+
+_OPS = ("I", "L", "S", "M")
+
+
+def _parse_operand(where: str, text: str) -> Tuple[int, int]:
+    """Parse lackey's ``addr,size`` operand (hex address, decimal size)."""
+    parts = text.split(",")
+    if len(parts) != 2:
+        raise TraceFormatError(
+            f"{where}: expected 'addr,size' after the op marker, got {text.strip()!r}"
+        )
+    addr_text, size_text = parts[0].strip(), parts[1].strip()
+    try:
+        addr = int(addr_text, 16)
+    except ValueError:
+        raise TraceFormatError(
+            f"{where}: invalid hexadecimal address {addr_text!r}"
+        ) from None
+    try:
+        size = int(size_text, 10)
+    except ValueError:
+        raise TraceFormatError(f"{where}: invalid access size {size_text!r}") from None
+    if size <= 0:
+        raise TraceFormatError(f"{where}: access size must be positive, got {size}")
+    return addr, size
+
+
+def parse_lackey(path: Union[str, Path]) -> Iterator[Tuple[str, int, int, bool, int]]:
+    """Yield ``(where, thread_id, addr, is_write, gap)`` from a lackey trace."""
+    path = Path(path)
+    pending_gap = 0
+    for lineno, raw in numbered_lines(path):
+        line = raw.strip()
+        if not line or line.startswith("==") or line.startswith("#"):
+            continue
+        where = f"{path}:{lineno}"
+        op, _, operand = line.partition(" ")
+        if op not in _OPS:
+            raise TraceFormatError(
+                f"{where}: unknown lackey op marker {op!r} (expected one of {_OPS})"
+            )
+        if op == "I":
+            # One fetched instruction of non-memory work; sizes are ignored
+            # but still validated so a garbled line cannot pass silently.
+            _parse_operand(where, operand)
+            pending_gap += 1
+            continue
+        addr, _size = _parse_operand(where, operand)
+        if op == "M":
+            yield where, 0, addr, False, pending_gap
+            yield where, 0, addr, True, 0
+        else:
+            yield where, 0, addr, op == "S", pending_gap
+        pending_gap = 0
+
+
+def import_lackey(
+    source: Union[str, Path],
+    directory: Union[str, Path],
+    *,
+    name: Optional[str] = None,
+    trace_format: str = "csv",
+    layout: Optional[AddressLayout] = None,
+    synthesize_regions: bool = True,
+) -> ImportSummary:
+    """Stream-convert a Valgrind lackey trace into a trace directory."""
+    return run_import(
+        "lackey",
+        parse_lackey(source),
+        source,
+        directory,
+        name=name,
+        trace_format=trace_format,
+        layout=layout,
+        synthesize_regions=synthesize_regions,
+    )

@@ -1,0 +1,117 @@
+"""Importer for PIN-style CSV memory traces.
+
+The classic Pin ``pinatrace`` instrumentation (and most home-grown pintools)
+emits one line per memory reference with the thread id, the operation and
+the effective address.  This importer reads the CSV normal form of that
+output::
+
+    tid,op,addr[,size[,gap]]
+
+* ``tid`` -- non-negative decimal thread id (per-thread streams are
+  demultiplexed from the single interleaved file);
+* ``op`` -- ``R``/``W`` (case-insensitive; ``0``/``1`` are accepted for
+  tools that log the write flag numerically);
+* ``addr`` -- decimal or ``0x``-prefixed hexadecimal byte address;
+* ``size`` *(optional)* -- access width in bytes (validated, recorded at
+  the start address);
+* ``gap`` *(optional)* -- non-memory instructions since the thread's
+  previous reference (defaults to 0 when the pintool does not log it).
+
+Blank lines, ``#`` comments and one optional header line (any first field
+that is not a number) are skipped.  Malformed lines raise
+:class:`~repro.workloads.trace_io.TraceFormatError` with the file and
+1-based line number.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+from ...memory.address import AddressLayout
+from ..trace_io import TraceFormatError
+from .base import ImportSummary, numbered_lines, run_import
+
+__all__ = ["import_pin_csv", "parse_pin_csv"]
+
+_WRITE_TOKENS = {"w": True, "r": False, "1": True, "0": False}
+
+
+def parse_pin_csv(path: Union[str, Path]) -> Iterator[Tuple[str, int, int, bool, int]]:
+    """Yield ``(where, thread_id, addr, is_write, gap)`` from a PIN-style CSV."""
+    path = Path(path)
+    saw_header = False
+    for lineno, raw in numbered_lines(path):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        where = f"{path}:{lineno}"
+        fields = [f.strip() for f in line.split(",")]
+        if not 3 <= len(fields) <= 5:
+            raise TraceFormatError(
+                f"{where}: expected 3-5 comma-separated fields "
+                f"(tid,op,addr[,size[,gap]]), got {len(fields)}: {line!r}"
+            )
+        if not saw_header and not fields[0].lstrip("+-").isdigit():
+            # One tolerated header line, e.g. "tid,op,addr,size".
+            saw_header = True
+            continue
+        saw_header = True
+        try:
+            tid = int(fields[0], 10)
+        except ValueError:
+            raise TraceFormatError(
+                f"{where}: invalid thread id {fields[0]!r} (expected a decimal integer)"
+            ) from None
+        is_write = _WRITE_TOKENS.get(fields[1].lower())
+        if is_write is None:
+            raise TraceFormatError(
+                f"{where}: invalid op {fields[1]!r} (expected R, W, 0 or 1)"
+            )
+        try:
+            addr = int(fields[2], 0)
+        except ValueError:
+            raise TraceFormatError(
+                f"{where}: invalid address {fields[2]!r} "
+                f"(expected a decimal or 0x-prefixed integer)"
+            ) from None
+        if len(fields) >= 4:
+            try:
+                size = int(fields[3], 10)
+            except ValueError:
+                raise TraceFormatError(
+                    f"{where}: invalid access size {fields[3]!r}"
+                ) from None
+            if size <= 0:
+                raise TraceFormatError(
+                    f"{where}: access size must be positive, got {size}"
+                )
+        gap = 0
+        if len(fields) == 5:
+            try:
+                gap = int(fields[4], 10)
+            except ValueError:
+                raise TraceFormatError(f"{where}: invalid gap {fields[4]!r}") from None
+        yield where, tid, addr, is_write, gap
+
+
+def import_pin_csv(
+    source: Union[str, Path],
+    directory: Union[str, Path],
+    *,
+    name: Optional[str] = None,
+    trace_format: str = "csv",
+    layout: Optional[AddressLayout] = None,
+    synthesize_regions: bool = True,
+) -> ImportSummary:
+    """Stream-convert a PIN-style CSV trace into a trace directory."""
+    return run_import(
+        "pin",
+        parse_pin_csv(source),
+        source,
+        directory,
+        name=name,
+        trace_format=trace_format,
+        layout=layout,
+        synthesize_regions=synthesize_regions,
+    )

@@ -1,0 +1,121 @@
+"""Importer for SynchroTrace-style event traces.
+
+SynchroTrace (Nilakantan et al.; the gem5 frontend lives in
+``src/cpu/testers/synchrotrace``) drives timing simulation from
+*event traces*: per-thread sequences of aggregated computation events
+(instruction counts between memory operations) and memory events.  This
+importer reads the single-file normal form of such a trace, one event per
+line, comma-separated::
+
+    <event_id>,<tid>,comp,<iops>,<flops>
+    <event_id>,<tid>,read,<addr>,<bytes>
+    <event_id>,<tid>,write,<addr>,<bytes>
+
+* ``event_id`` -- non-negative integer, strictly increasing **per thread**
+  (the cheap integrity check that catches spliced or reordered traces);
+* ``comp`` events add ``iops + flops`` instructions to the gap of the
+  thread's next memory event;
+* ``read``/``write`` events reference ``addr`` (decimal or ``0x`` hex)
+  for ``bytes`` bytes (recorded at the start address).
+
+Blank lines and ``#`` comments are skipped.  Synchronisation events of the
+real format (thread create/join, mutex/barrier) are out of scope -- the
+simulated machine has no OS model -- and any other event kind raises
+:class:`~repro.workloads.trace_io.TraceFormatError` with the file and
+line, as does any malformed field or a non-monotonic event id.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from ...memory.address import AddressLayout
+from ..trace_io import TraceFormatError
+from .base import ImportSummary, numbered_lines, run_import
+
+__all__ = ["import_synchrotrace", "parse_synchrotrace"]
+
+_EVENT_KINDS = ("comp", "read", "write")
+
+
+def _int_field(where: str, label: str, text: str, *, base: int = 10) -> int:
+    try:
+        return int(text, base)
+    except ValueError:
+        raise TraceFormatError(f"{where}: invalid {label} {text!r}") from None
+
+
+def parse_synchrotrace(
+    path: Union[str, Path],
+) -> Iterator[Tuple[str, int, int, bool, int]]:
+    """Yield ``(where, thread_id, addr, is_write, gap)`` from an event trace."""
+    path = Path(path)
+    pending_gap: Dict[int, int] = {}
+    last_event: Dict[int, int] = {}
+    for lineno, raw in numbered_lines(path):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        where = f"{path}:{lineno}"
+        fields = [f.strip() for f in line.split(",")]
+        if len(fields) != 5:
+            raise TraceFormatError(
+                f"{where}: expected 5 comma-separated fields "
+                f"(event,tid,kind,a,b), got {len(fields)}: {line!r}"
+            )
+        event = _int_field(where, "event id", fields[0])
+        tid = _int_field(where, "thread id", fields[1])
+        if tid < 0:
+            raise TraceFormatError(f"{where}: thread id must be non-negative, got {tid}")
+        kind = fields[2].lower()
+        if kind not in _EVENT_KINDS:
+            raise TraceFormatError(
+                f"{where}: unknown event kind {fields[2]!r} "
+                f"(expected one of {_EVENT_KINDS})"
+            )
+        previous = last_event.get(tid)
+        if previous is not None and event <= previous:
+            raise TraceFormatError(
+                f"{where}: event id {event} not increasing for thread {tid} "
+                f"(previous was {previous}; the trace is reordered or spliced)"
+            )
+        last_event[tid] = event
+
+        if kind == "comp":
+            iops = _int_field(where, "iop count", fields[3])
+            flops = _int_field(where, "flop count", fields[4])
+            if iops < 0 or flops < 0:
+                raise TraceFormatError(
+                    f"{where}: iop/flop counts must be non-negative "
+                    f"(got {iops}, {flops})"
+                )
+            pending_gap[tid] = pending_gap.get(tid, 0) + iops + flops
+            continue
+        addr = _int_field(where, "address", fields[3], base=0)
+        size = _int_field(where, "byte count", fields[4])
+        if size <= 0:
+            raise TraceFormatError(f"{where}: byte count must be positive, got {size}")
+        yield where, tid, addr, kind == "write", pending_gap.pop(tid, 0)
+
+
+def import_synchrotrace(
+    source: Union[str, Path],
+    directory: Union[str, Path],
+    *,
+    name: Optional[str] = None,
+    trace_format: str = "csv",
+    layout: Optional[AddressLayout] = None,
+    synthesize_regions: bool = True,
+) -> ImportSummary:
+    """Stream-convert a SynchroTrace-style event trace into a trace directory."""
+    return run_import(
+        "synchrotrace",
+        parse_synchrotrace(source),
+        source,
+        directory,
+        name=name,
+        trace_format=trace_format,
+        layout=layout,
+        synthesize_regions=synthesize_regions,
+    )

@@ -45,6 +45,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..memory.address import DEFAULT_LAYOUT, AddressLayout
+from .clone import load_clone
 from .compiled import CompiledTrace, compile_trace
 from .registry import make_workload
 from .trace import MemoryAccess
@@ -74,10 +75,11 @@ ADDRESS_STRIDE = 1 << 44
 class ScenarioEntry:
     """One workload-to-cores assignment inside a :class:`Scenario`.
 
-    Exactly one of ``workload`` (a registry benchmark name) or ``trace_dir``
-    (a recorded trace directory) must be set, and exactly one of ``cores``
-    (explicit global core ids) or ``sockets`` (whole sockets, resolved
-    against the topology at build time).
+    Exactly one of ``workload`` (a registry benchmark name), ``trace_dir``
+    (a recorded trace directory) or ``clone`` (a fitted clone-spec JSON)
+    must be set, and exactly one of ``cores`` (explicit global core ids) or
+    ``sockets`` (whole sockets, resolved against the topology at build
+    time).
 
     Parameters
     ----------
@@ -86,6 +88,10 @@ class ScenarioEntry:
     trace_dir:
         Path of a trace directory written by
         :func:`~repro.workloads.trace_io.record_workload`.
+    clone:
+        Path of a clone-spec JSON written by ``repro analyze --clone-out``
+        (:mod:`~repro.workloads.clone`); built like a synthetic entry, so
+        ``scale``, ``seed`` and ``accesses_per_thread`` all apply.
     cores:
         Global core ids this entry drives (``socket * cores_per_socket + i``).
     sockets:
@@ -105,6 +111,7 @@ class ScenarioEntry:
 
     workload: Optional[str] = None
     trace_dir: Optional[str] = None
+    clone: Optional[str] = None
     cores: Optional[Tuple[int, ...]] = None
     sockets: Optional[Tuple[int, ...]] = None
     accesses_per_thread: Optional[int] = None
@@ -113,10 +120,14 @@ class ScenarioEntry:
     base_offset: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if (self.workload is None) == (self.trace_dir is None):
+        sources = [
+            s for s in (self.workload, self.trace_dir, self.clone) if s is not None
+        ]
+        if len(sources) != 1:
             raise ValueError(
-                "scenario entry needs exactly one of 'workload' or 'trace_dir' "
-                f"(got workload={self.workload!r}, trace_dir={self.trace_dir!r})"
+                "scenario entry needs exactly one of 'workload', 'trace_dir' "
+                f"or 'clone' (got workload={self.workload!r}, "
+                f"trace_dir={self.trace_dir!r}, clone={self.clone!r})"
             )
         if (self.cores is None) == (self.sockets is None):
             raise ValueError(
@@ -132,7 +143,7 @@ class ScenarioEntry:
 
     def describe(self) -> str:
         """One-line human description (used by the CLI banner)."""
-        source = self.workload if self.workload is not None else self.trace_dir
+        source = self.workload or self.trace_dir or self.clone
         where = (
             f"cores {list(self.cores)}" if self.cores is not None
             else f"sockets {list(self.sockets)}"
@@ -237,6 +248,14 @@ class Scenario:
                         f"assigned but trace directory {entry.trace_dir!r} records "
                         f"only {sub.num_threads} threads"
                     )
+            elif entry.clone is not None:
+                sub = load_clone(
+                    entry.clone,
+                    scale=scale,
+                    num_threads=len(cores),
+                    seed=entry.seed if entry.seed is not None else seed,
+                    accesses_per_thread=entry.accesses_per_thread or accesses_per_thread,
+                )
             else:
                 sub = make_workload(
                     entry.workload,
@@ -421,7 +440,7 @@ class ScenarioWorkload:
 # ----------------------------------------------------------------------
 
 _ENTRY_KEYS = {
-    "workload", "trace_dir", "cores", "sockets",
+    "workload", "trace_dir", "clone", "cores", "sockets",
     "accesses_per_thread", "seed", "gap_scale", "base_offset",
 }
 
@@ -578,6 +597,7 @@ def build_workload(
     workload: Optional[str] = None,
     trace_dir: Optional[Union[str, Path]] = None,
     scenario: Union[str, Path, Scenario, None] = None,
+    clone: Optional[Union[str, Path]] = None,
     scale: int = 1,
     accesses_per_thread: int = 20_000,
     seed: Optional[int] = None,
@@ -585,18 +605,35 @@ def build_workload(
 ):
     """Build a workload from whichever frontend is selected.
 
-    The single dispatch point behind ``repro --workload/--trace-dir/--scenario``,
+    The single dispatch point behind
+    ``repro --workload/--trace-dir/--scenario/--clone``,
     :class:`~repro.experiments.runner.SweepPoint` and ``repro bench``:
     ``trace_dir`` replays a recorded trace directory, ``scenario`` builds a
-    composition (built-in name, JSON path or :class:`Scenario`), and
-    otherwise ``workload`` names a synthetic benchmark instantiated with one
-    thread per core.  ``trace_dir`` and ``scenario`` are mutually exclusive
-    and both override ``workload``.
+    composition (built-in name, JSON path or :class:`Scenario`), ``clone``
+    instantiates a fitted clone-spec JSON (``repro analyze --clone-out``),
+    and otherwise ``workload`` names a synthetic benchmark instantiated
+    with one thread per core.  ``trace_dir``, ``scenario`` and ``clone``
+    are mutually exclusive and each overrides ``workload``.
     """
-    if trace_dir is not None and scenario is not None:
-        raise ValueError("trace_dir and scenario are mutually exclusive")
+    selected = [
+        name
+        for name, value in (
+            ("trace_dir", trace_dir), ("scenario", scenario), ("clone", clone)
+        )
+        if value is not None
+    ]
+    if len(selected) > 1:
+        raise ValueError(f"{' and '.join(selected)} are mutually exclusive")
     if trace_dir is not None:
         return TraceDirWorkload(trace_dir)
+    if clone is not None:
+        return load_clone(
+            clone,
+            scale=scale,
+            num_threads=num_sockets * cores_per_socket,
+            seed=seed,
+            accesses_per_thread=accesses_per_thread,
+        )
     if scenario is not None:
         return build_scenario_workload(
             scenario,

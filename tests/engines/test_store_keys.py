@@ -72,3 +72,13 @@ def test_every_engine_hashes_to_a_distinct_key():
         for engine in ("object", "compiled", "vector")
     }
     assert len(set(sweep_keys.values())) == len(sweep_keys)
+
+
+def test_clone_points_key_separately_without_moving_old_keys():
+    """The clone frontend joins the payload only when used: a default point
+    still hashes to its pre-clone pinned key (asserted above), while a clone
+    point gets its own key independent of the placeholder workload."""
+    clone_key = sweep_point_key(SweepPoint(clone="work/clone.json"))
+    assert clone_key != PINNED_SWEEP_KEYS[("default", "compiled")]
+    relabelled = SweepPoint(workload="canneal", clone="work/clone.json")
+    assert sweep_point_key(relabelled) == clone_key

@@ -113,6 +113,22 @@ def test_grid_expansion_order_and_sources():
     assert all(p.scale == 4096 and p.accesses_per_thread == 150 for p in points)
 
 
+def test_grid_clones_axis_expands_to_clone_points():
+    spec = CampaignSpec.from_dict({
+        "name": "clones",
+        "settings": TINY_SETTINGS,
+        "sweeps": [{
+            "protocols": ["c3d"],
+            "clones": ["work/clone.json"],
+            "topologies": [{"sockets": 2, "cores_per_socket": 1}],
+        }],
+    })
+    points = spec.expand()
+    assert len(points) == 1
+    assert points[0].clone == "work/clone.json"
+    assert points[0].trace_dir is None and points[0].scenario is None
+
+
 # ----------------------------------------------------------------------
 # Execution: caching, resume, status
 # ----------------------------------------------------------------------

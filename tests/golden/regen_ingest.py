@@ -1,0 +1,58 @@
+"""Regenerate the committed ingestion goldens after a deliberate change.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regen_ingest.py
+
+Rebuilds ``ingest_tiny/`` (a tiny trace directory imported from an inline
+lackey source) and ``ingest_tiny_profile.json`` (its pinned analyzer
+profile).  The drift test is ``tests/workloads/test_analyzer.py``; only run
+this when an analyzer or importer behaviour change is intended.
+"""
+
+import json
+import os
+import shutil
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.workloads.analyzer import analyze_trace_dir  # noqa: E402
+from repro.workloads.importers import import_lackey  # noqa: E402
+
+#: The tiny deterministic lackey source the golden trace dir is imported
+#: from: two pages of data, a read-modify-write, and some instruction gaps.
+LACKEY_SOURCE = """\
+==42== golden ingest specimen
+I  00400000,2
+ L 00010000,8
+I  00400002,3
+ S 00010040,4
+ M 00011000,4
+I  00400005,1
+ L 00010000,8
+ S 00012000,8
+"""
+
+
+def main() -> None:
+    here = Path(__file__).resolve().parent
+    source = here / "ingest_tiny.lackey"
+    source.write_text(LACKEY_SOURCE)
+    directory = here / "ingest_tiny"
+    shutil.rmtree(directory, ignore_errors=True)
+    # Import with a bare relative source path so the committed manifest's
+    # `imported_from.source` is checkout-independent.
+    os.chdir(here)
+    import_lackey(source.name, directory, name="ingest-tiny")
+    profile = analyze_trace_dir(directory)
+    # The profile's source field is machine-specific; pin it relative.
+    profile["source"] = "tests/golden/ingest_tiny"
+    out = here / "ingest_tiny_profile.json"
+    out.write_text(json.dumps(profile, indent=2) + "\n")
+    print(f"wrote {directory}/ and {out}")
+
+
+if __name__ == "__main__":
+    main()

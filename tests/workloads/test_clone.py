@@ -1,0 +1,133 @@
+"""Clone fidelity: record -> analyze -> clone -> analyze must agree.
+
+The statistical contract of :mod:`repro.workloads.clone` (tolerances are
+documented in its module docstring and docs/ingestion.md):
+
+* global write fraction within +-0.05 of the original;
+* shared-access fraction within +-0.1;
+* footprint within a factor of 2;
+* and exact determinism -- same profile + same seed -> identical streams.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.analyzer import analyze_trace_dir, analyze_workload
+from repro.workloads.clone import CLONE_SCHEMA, fit_clone, load_clone, save_clone
+from repro.workloads.registry import make_workload
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.trace_io import TraceFormatError, record_workload
+
+ACCESSES = 1500
+THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def recorded_profile(tmp_path_factory):
+    """A recorded synthetic run and its analyzer profile."""
+    workload = make_workload(
+        "streamcluster", scale=1024, accesses_per_thread=ACCESSES, num_threads=THREADS
+    )
+    directory = tmp_path_factory.mktemp("rec") / "streamcluster"
+    record_workload(workload, directory)
+    return analyze_trace_dir(directory)
+
+
+def _reanalyze(spec, accesses):
+    clone = SyntheticWorkload(spec, accesses_per_thread=accesses)
+    return analyze_workload(clone, source="<clone>")
+
+
+def test_clone_matches_write_mix_and_footprint(recorded_profile):
+    spec, accesses = fit_clone(recorded_profile)
+    assert accesses == ACCESSES
+    cloned = _reanalyze(spec, accesses)
+
+    assert cloned["num_threads"] == recorded_profile["num_threads"]
+    assert cloned["total_accesses"] == recorded_profile["total_accesses"]
+    # Write mix: +-0.05 globally, +-0.05 on the private/shared split.
+    assert cloned["write_fraction"] == pytest.approx(
+        recorded_profile["write_fraction"], abs=0.05
+    )
+    assert cloned["sharing"]["write_fraction_private"] == pytest.approx(
+        recorded_profile["sharing"]["write_fraction_private"], abs=0.05
+    )
+    # Sharing mix: +-0.1 of the accesses hitting shared data.
+    assert cloned["sharing"]["shared_access_fraction"] == pytest.approx(
+        recorded_profile["sharing"]["shared_access_fraction"], abs=0.1
+    )
+    # Footprint: within a factor of 2 either way.
+    original = recorded_profile["footprint"]["bytes"]
+    assert original / 2 <= cloned["footprint"]["bytes"] <= original * 2
+    # Stream shape: mean gap within one instruction.
+    assert cloned["mean_gap"] == pytest.approx(recorded_profile["mean_gap"], abs=1.0)
+
+
+def test_clone_is_seed_deterministic(recorded_profile):
+    spec_a, accesses = fit_clone(recorded_profile, seed=7)
+    spec_b, _ = fit_clone(recorded_profile, seed=7)
+    assert spec_a == spec_b
+    stream_a = list(SyntheticWorkload(spec_a, accesses_per_thread=200).stream(0))
+    stream_b = list(SyntheticWorkload(spec_b, accesses_per_thread=200).stream(0))
+    assert stream_a == stream_b
+    # A different seed must actually change the stream.
+    spec_c, _ = fit_clone(recorded_profile, seed=8)
+    stream_c = list(SyntheticWorkload(spec_c, accesses_per_thread=200).stream(0))
+    assert stream_a != stream_c
+
+
+def test_clone_spec_round_trips_through_json(recorded_profile, tmp_path):
+    spec, accesses = fit_clone(recorded_profile)
+    path = tmp_path / "clone.json"
+    save_clone(path, spec, accesses_per_thread=accesses, profile=recorded_profile)
+    loaded = load_clone(path)
+    assert loaded.spec == spec
+    assert loaded.accesses_per_thread == accesses
+    assert list(loaded.stream(0)) == list(
+        SyntheticWorkload(spec, accesses_per_thread=accesses).stream(0)
+    )
+
+
+def test_load_clone_overrides(recorded_profile, tmp_path):
+    spec, accesses = fit_clone(recorded_profile)
+    path = tmp_path / "clone.json"
+    save_clone(path, spec, accesses_per_thread=accesses)
+    loaded = load_clone(path, scale=4, num_threads=2, seed=99, accesses_per_thread=50)
+    assert loaded.num_threads == 2
+    assert loaded.accesses_per_thread == 50
+    assert loaded.spec.seed == 99
+    assert loaded.spec.private_bytes_per_thread <= spec.private_bytes_per_thread
+
+
+def test_fit_clone_rejects_non_profiles():
+    with pytest.raises(TraceFormatError, match="workload-profile/v1"):
+        fit_clone({"schema": "something-else"})
+
+
+def test_load_clone_rejects_bad_documents(tmp_path):
+    with pytest.raises(TraceFormatError, match="no such clone spec"):
+        load_clone(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(TraceFormatError, match="invalid clone spec JSON"):
+        load_clone(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text('{"schema": "other/v9"}')
+    with pytest.raises(TraceFormatError, match=CLONE_SCHEMA):
+        load_clone(wrong)
+
+
+def test_private_only_workload_clones_without_shared_region(tmp_path):
+    """A fully-private trace fits to p_warm == 0 and no shared region."""
+    source = tmp_path / "t.csv"
+    source.write_text("0,R,0x0\n0,W,0x40\n1,R,0x100000\n1,W,0x100040\n")
+    from repro.workloads.importers import import_pin_csv
+
+    import_pin_csv(source, tmp_path / "dir")
+    profile = analyze_trace_dir(tmp_path / "dir")
+    spec, _ = fit_clone(profile)
+    assert spec.p_private == 1.0
+    assert spec.p_warm == 0.0
+    assert spec.warm_shared_bytes == 0
+    assert dataclasses.asdict(spec)["num_threads"] == 2

@@ -1,0 +1,80 @@
+"""The malformed-input corpus: every bad external trace fails loudly, located.
+
+``tests/workloads/data/`` holds one committed specimen per failure class --
+truncated gzip streams, wrong field counts, non-numeric fields, wrong-encoding
+("mixed-endian" UTF-16) text, out-of-range values, empty inputs.  Each must
+raise :class:`TraceFormatError`; line-level defects must name the offending
+``file:line``, file-level defects (corrupt gzip, no accesses at all) must at
+least name the file.  An importer that silently skips or truncates instead
+of raising would corrupt every experiment downstream of it, so this corpus
+is the regression wall for the error paths.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.importers import import_trace
+from repro.workloads.trace_io import TraceFormatError
+
+DATA = Path(__file__).parent / "data"
+
+#: (corpus file, importer, located line or None for file-level, message part)
+CORPUS = [
+    ("lackey_unknown_op.txt", "lackey", 1, "unknown lackey op marker"),
+    ("lackey_bad_addr.txt", "lackey", 2, "invalid hexadecimal address"),
+    ("lackey_bad_size.txt", "lackey", 1, "invalid access size"),
+    ("lackey_missing_operand.txt", "lackey", 1, "expected 'addr,size'"),
+    ("lackey_empty.txt", "lackey", None, "contains no memory accesses"),
+    ("lackey_truncated.gz", "lackey", None, "corrupt gzip stream"),
+    ("pin_bad_field_count.txt", "pin", 2, "expected 3-5 comma-separated fields"),
+    ("pin_non_numeric.txt", "pin", 3, "invalid thread id"),
+    ("pin_bad_op.txt", "pin", 1, "invalid op"),
+    ("pin_bad_gap.txt", "pin", 1, "invalid gap"),
+    ("pin_addr_overflow.txt", "pin", 1, "outside the supported"),
+    ("pin_empty.txt", "pin", None, "contains no memory accesses"),
+    ("st_bad_field_count.txt", "synchrotrace", 1, "expected 5 comma-separated fields"),
+    ("st_nonmonotonic.txt", "synchrotrace", 2, "not increasing for thread 0"),
+    ("st_unknown_kind.txt", "synchrotrace", 1, "unknown event kind"),
+    ("st_bad_bytes.txt", "synchrotrace", 1, "byte count must be positive"),
+    ("st_mixed_endian.txt", "synchrotrace", 1, "invalid event id"),
+    ("st_truncated.gz", "synchrotrace", None, "corrupt gzip stream"),
+]
+
+
+def test_corpus_is_complete():
+    """Every committed specimen is exercised, and vice versa."""
+    assert sorted(name for name, *_ in CORPUS) == sorted(
+        p.name for p in DATA.iterdir() if p.is_file()
+    )
+
+
+@pytest.mark.parametrize(
+    "filename,fmt,line,message", CORPUS, ids=[c[0] for c in CORPUS]
+)
+def test_malformed_input_raises_located_error(tmp_path, filename, fmt, line, message):
+    source = DATA / filename
+    with pytest.raises(TraceFormatError) as excinfo:
+        import_trace(fmt, source, tmp_path / "out")
+    text = str(excinfo.value)
+    assert message in text
+    if line is not None:
+        assert f"{source}:{line}" in text, text
+    else:
+        assert str(source) in text, text
+
+
+@pytest.mark.parametrize("fmt", ["lackey", "pin", "synchrotrace"])
+def test_not_gzip_despite_gz_suffix(tmp_path, fmt):
+    """A .gz file that is not actually gzip fails as corrupt, located to it."""
+    source = tmp_path / "fake.gz"
+    source.write_bytes(b"plain text, not gzip at all\n")
+    with pytest.raises(TraceFormatError, match="corrupt gzip stream"):
+        import_trace(fmt, source, tmp_path / "out")
+
+
+def test_failed_import_leaves_no_usable_trace_dir(tmp_path):
+    """A failing import must not leave a manifest behind (no silent garbage)."""
+    with pytest.raises(TraceFormatError):
+        import_trace("pin", DATA / "pin_bad_op.txt", tmp_path / "out")
+    assert not (tmp_path / "out" / "manifest.json").exists()

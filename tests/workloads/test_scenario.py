@@ -32,10 +32,13 @@ def build(name, **kwargs):
 
 
 def test_entry_requires_exactly_one_source():
-    with pytest.raises(ValueError, match="exactly one of 'workload' or 'trace_dir'"):
+    match = "exactly one of 'workload', 'trace_dir' or 'clone'"
+    with pytest.raises(ValueError, match=match):
         ScenarioEntry(cores=(0,))
-    with pytest.raises(ValueError, match="exactly one of 'workload' or 'trace_dir'"):
+    with pytest.raises(ValueError, match=match):
         ScenarioEntry(workload="facesim", trace_dir="x", cores=(0,))
+    with pytest.raises(ValueError, match=match):
+        ScenarioEntry(trace_dir="x", clone="c.json", cores=(0,))
 
 
 def test_entry_requires_exactly_one_core_group():

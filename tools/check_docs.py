@@ -37,6 +37,7 @@ REQUIRED_DOCS = (
     "docs/architecture.md",
     "docs/campaigns.md",
     "docs/experiments.md",
+    "docs/ingestion.md",
     "docs/performance.md",
     "docs/robustness.md",
     "docs/sampling.md",
@@ -55,6 +56,12 @@ REQUIRED_SECTIONS = {
     "docs/architecture.md": (
         "## Execution engines",
         "| `vector` |",
+    ),
+    "docs/ingestion.md": (
+        "## Import formats",
+        "## Clone fitting and its tolerances",
+        "workload-profile/v1",
+        "workload-clone/v1",
     ),
 }
 

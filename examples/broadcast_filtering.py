@@ -20,8 +20,7 @@ from __future__ import annotations
 
 import _bootstrap  # noqa: F401  (makes src/ importable without PYTHONPATH)
 
-from repro.experiments import ExperimentContext, ExperimentSettings
-from repro.stats.report import format_table
+from repro.api import ExperimentContext, ExperimentSettings, format_table
 
 
 def run_pair(context: ExperimentContext, workload: str):

@@ -19,8 +19,13 @@ import _bootstrap  # noqa: F401  (makes src/ importable without PYTHONPATH)
 
 import argparse
 
-from repro.experiments import DESIGNS, ExperimentContext, ExperimentSettings, speedup
-from repro.stats.report import format_table
+from repro.api import (
+    DESIGNS,
+    ExperimentContext,
+    ExperimentSettings,
+    format_table,
+    speedup,
+)
 
 DEFAULT_WORKLOADS = ["streamcluster", "facesim", "nutch"]
 

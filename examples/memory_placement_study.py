@@ -24,8 +24,7 @@ import _bootstrap  # noqa: F401  (makes src/ importable without PYTHONPATH)
 
 from dataclasses import replace
 
-from repro.experiments import ExperimentContext, ExperimentSettings
-from repro.stats.report import format_table
+from repro.api import ExperimentContext, ExperimentSettings, format_table
 
 POLICIES = ("interleave", "ft1", "ft2")
 WORKLOADS = ("streamcluster", "tunkrank")

@@ -19,7 +19,7 @@ import _bootstrap  # noqa: F401  (makes src/ importable without PYTHONPATH)
 
 import argparse
 
-from repro.experiments import ExperimentContext, ExperimentSettings
+from repro.api import ExperimentContext, ExperimentSettings
 from repro.experiments.fig2 import format_fig2, run_fig2
 from repro.experiments.table1 import format_table1, run_table1
 

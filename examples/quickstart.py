@@ -29,8 +29,15 @@ from pathlib import Path
 
 import _bootstrap  # noqa: F401  (makes src/ importable without PYTHONPATH)
 
-from repro import NumaSystem, Simulator, SystemConfig, amat_breakdown, make_workload
-from repro.workloads import TraceDirWorkload, record_workload
+# Everything a script needs comes from the one stable facade.
+from repro.api import (
+    SystemConfig,
+    TraceDirWorkload,
+    amat_breakdown,
+    make_workload,
+    record_workload,
+    simulate,
+)
 
 #: Scale factor applied to capacities and working sets (see DESIGN.md §5).
 SCALE = 512
@@ -39,14 +46,14 @@ WARMUP_PER_CORE = 500
 
 
 def run_once(workload) -> "object":
-    """Build a fresh machine, run ``workload`` on it, return the result."""
+    """Build a fresh machine, run ``workload`` on it, return the result.
+
+    ``repro.api.simulate`` wires the machine, runs the engine and checks
+    the coherence invariants in one call.
+    """
     config = SystemConfig.quad_socket(protocol="c3d").scaled(SCALE)
-    system = NumaSystem(config)
-    simulator = Simulator(system, workload)
-    result = simulator.run(warmup_accesses_per_core=WARMUP_PER_CORE, prewarm=True)
-    violations = system.check_invariants()
-    assert not violations, violations
-    return result
+    return simulate(config, workload,
+                    warmup_accesses_per_core=WARMUP_PER_CORE, prewarm=True)
 
 
 def main() -> None:

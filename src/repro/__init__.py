@@ -19,17 +19,23 @@ The package provides:
 * ``repro.verification`` -- an explicit-state model checker for the C3D
   protocol (SWMR and per-location SC invariants).
 
+The **supported import surface for scripts is** :mod:`repro.api`
+(docs/architecture.md "Serving layer"): five verbs -- ``simulate``,
+``analyze``, ``import_trace``, ``run_campaign``, ``open_store`` -- plus
+re-exports of the types they consume.  Internal module paths may move
+between releases; ``repro.api`` (and this package's top-level re-exports)
+will not.
+
 Quickstart::
 
-    from repro import SystemConfig, NumaSystem, Simulator, make_workload
+    from repro import api
 
-    config = SystemConfig.quad_socket(protocol="c3d").scaled(512)
-    system = NumaSystem(config)
-    workload = make_workload("streamcluster", scale=512, accesses_per_thread=2000)
-    result = Simulator(system, workload).run()
+    result = api.simulate(workload="streamcluster", scale=512)
     print(result.stats.dram_cache_hit_rate(), result.total_time_ns)
 """
 
+from . import api
+from .api import analyze, import_trace, open_store, run_campaign, simulate
 from .stats import SimulationStats, amat_breakdown
 from .system import (
     PROTOCOL_NAMES,
@@ -46,6 +52,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "api",
+    "simulate",
+    "analyze",
+    "import_trace",
+    "run_campaign",
+    "open_store",
     "SystemConfig",
     "NumaSystem",
     "build_system",

@@ -263,9 +263,17 @@ def append_record(record: Dict, output: Path) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .cli_common import store_options
+
     parser = argparse.ArgumentParser(
         prog="repro bench",
         description="Run the simulator-throughput microbenchmark.",
+        parents=[store_options(
+            store_help="also persist each measured run's statistics to "
+                       "this results store (docs/campaigns.md)",
+            json_help="print the benchmark record as one JSON line "
+                      "(default: indented)",
+        )],
     )
     parser.add_argument("--scale", type=int, default=1024)
     parser.add_argument("--accesses", type=int, default=400,
@@ -292,9 +300,6 @@ def build_parser() -> argparse.ArgumentParser:
                              "derived from the trace length)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help="JSON history file to append to ('-' to skip writing)")
-    parser.add_argument("--store", default=None, metavar="DIR",
-                        help="also persist each measured run's statistics to "
-                             "this results store (docs/campaigns.md)")
     return parser
 
 
@@ -326,7 +331,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         sample_plan=args.sample_plan,
         store=store,
     )
-    print(json.dumps(record, indent=2))
+    if args.json:
+        print(json.dumps(record, sort_keys=True))
+    else:
+        print(json.dumps(record, indent=2))
     if args.output != "-":
         output = Path(args.output)
         append_record(record, output)

@@ -17,8 +17,11 @@ Usage::
     python -m repro campaign run spec.json          # resumable batch runs
     python -m repro campaign status spec.json
     python -m repro report --store results/demo     # tables, no simulation
-    python -m repro store verify results/demo       # integrity scan
-    python -m repro store repair results/demo       # compact out corruption
+    python -m repro store verify --store results/demo   # integrity scan
+    python -m repro store compact --store results/demo  # per-shard compaction
+    python -m repro store migrate --store results/old   # legacy -> sharded
+    python -m repro serve --store results/shared    # campaign HTTP daemon
+    python -m repro submit spec.json --server http://127.0.0.1:8642 --wait
 
 The CLI is a thin wrapper over the public API (``SystemConfig`` /
 ``NumaSystem`` / ``Simulator``); it exists so that a single simulation can be
@@ -29,19 +32,27 @@ composition (``--scenario``, a built-in name or a JSON file);
 ``--record-trace DIR`` captures the selected workload to a trace directory
 before simulating it.
 
-Six subcommands sit in front of the single-run flags: ``bench``
+Eight subcommands sit in front of the single-run flags: ``bench``
 (:mod:`repro.bench`) runs the simulator-throughput microbenchmark and
 appends to ``BENCH_throughput.json``; ``campaign``
 (:mod:`repro.experiments.campaign`) runs/inspects/cleans resumable
 experiment campaigns against a persistent results store; ``report``
 (:mod:`repro.experiments.report`) renders a populated store into
 Markdown/CSV tables without re-simulating; ``store``
-(:mod:`repro.stats.store`) verifies and repairs a store's integrity
-(docs/robustness.md); ``import`` (:mod:`repro.workloads.importers`)
-converts external memory traces into replayable trace directories and
-``analyze`` (:mod:`repro.workloads.analyzer`) characterises a trace
-directory into a JSON profile -- optionally fitting a synthetic clone
-(docs/ingestion.md).  See ``docs/campaigns.md``.
+(:mod:`repro.stats.store`) verifies, compacts and migrates a store
+(docs/robustness.md, docs/serving.md); ``serve``
+(:mod:`repro.service.server`) exposes campaign submit/status/results
+over HTTP against a shared sharded store, and ``submit``
+(:mod:`repro.service.client`) is its thin client; ``import``
+(:mod:`repro.workloads.importers`) converts external memory traces into
+replayable trace directories and ``analyze``
+(:mod:`repro.workloads.analyzer`) characterises a trace directory into a
+JSON profile -- optionally fitting a synthetic clone (docs/ingestion.md).
+Every store-touching subcommand shares the same ``--store PATH`` and
+``--json`` flags (:mod:`repro.cli_common`).  See ``docs/campaigns.md``.
+
+Scripting against the simulator is served by the stable facade
+:mod:`repro.api` -- the CLI itself is a thin wrapper over it.
 """
 
 from __future__ import annotations
@@ -172,6 +183,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .stats.store import main as store_main
 
         return store_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .service.server import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        from .service.client import main as submit_main
+
+        return submit_main(argv[1:])
     if argv and argv[0] == "import":
         from .workloads.importers import main as import_main
 

@@ -1,0 +1,66 @@
+"""Shared argparse conventions for every store-touching `repro` subcommand.
+
+``repro campaign``, ``repro report``, ``repro store``, ``repro bench``,
+``repro serve`` and ``repro submit`` all accept the same two flags, wired
+from the one parent parser built here:
+
+* ``--store PATH`` -- the results-store directory (docs/serving.md).
+* ``--json``       -- machine-readable JSON on stdout instead of prose.
+
+Old per-command spellings (e.g. the positional directory of
+``repro store verify DIR``) are kept as hidden aliases for one release;
+:func:`resolve_store_path` folds them into the unified flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["store_options", "resolve_store_path"]
+
+
+def store_options(*, store_help: Optional[str] = None,
+                  json_help: Optional[str] = None) -> argparse.ArgumentParser:
+    """The shared ``--store PATH`` / ``--json`` parent parser.
+
+    Use with ``argparse.ArgumentParser(parents=[store_options()])`` (or on a
+    subparser).  Returns a fresh parser each call, so per-command help text
+    overrides never leak between commands.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("common options")
+    group.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help=store_help or "results-store directory (docs/serving.md)",
+    )
+    group.add_argument(
+        "--json",
+        action="store_true",
+        help=json_help or "emit machine-readable JSON instead of prose",
+    )
+    return parent
+
+
+def resolve_store_path(flag_value: Optional[str],
+                       positional_value: Optional[str] = None,
+                       *, command: str = "repro") -> Path:
+    """Fold the unified ``--store`` flag and a legacy positional into one path.
+
+    The flag wins; the hidden positional (old spelling) is accepted for one
+    release.  Raises ``SystemExit`` with a usage message when neither was
+    given or the two disagree.
+    """
+    if flag_value and positional_value and str(flag_value) != str(positional_value):
+        raise SystemExit(
+            f"{command}: --store {flag_value} conflicts with positional "
+            f"store {positional_value!r}; pass --store only"
+        )
+    chosen = flag_value or positional_value
+    if not chosen:
+        raise SystemExit(f"{command}: a store directory is required "
+                         f"(pass --store PATH)")
+    return Path(chosen)

@@ -467,17 +467,23 @@ def campaign_status(spec: CampaignSpec, store: ResultsStore) -> Dict[str, object
     run means incomplete).  ``points_quarantined`` counts the campaign's
     points present in the store's ``failures.jsonl`` sidecar but not yet
     completed -- they re-run on the next invocation (docs/robustness.md).
+
+    Point counting consults only the store's key index
+    (:meth:`~repro.stats.store.ResultsStore.known_keys`, a raw scan of the
+    shard files): no record body is parsed, so status on a store of
+    millions of results costs one sequential read, not a full load --
+    ``tests/experiments/test_status_index.py`` pins that.  (Figure
+    probing, when the spec names figures, does fetch the records it
+    replays.)
     """
     points = spec.expand()
-    done = sum(1 for point in points if sweep_point_key(point, spec.engine) in store)
+    stored_keys = store.known_keys()
     campaign_keys = {sweep_point_key(point, spec.engine) for point in points}
-    quarantined = len(
-        {
-            record.key
-            for record in store.failure_log.records()
-            if record.key in campaign_keys and record.key not in store
-        }
+    done = sum(
+        1 for point in points
+        if sweep_point_key(point, spec.engine) in stored_keys
     )
+    quarantined = len(store.failure_log.keys() & campaign_keys - stored_keys)
     figures: Dict[str, bool] = {}
     if spec.figures:
         context = ExperimentContext(
@@ -532,17 +538,25 @@ def merged_point_stats(
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from ..cli_common import store_options
+
+    def common():
+        # The unified --store/--json pair every store-touching subcommand
+        # shares (repro.cli_common).
+        return store_options(
+            store_help="results-store directory (default: the spec's "
+                       "'store' field, else results/<name>)"
+        )
+
     parser = argparse.ArgumentParser(
         prog="repro campaign",
         description="Run, inspect or reset resumable experiment campaigns.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = sub.add_parser("run", help="run a campaign (resumes automatically)")
+    run_parser = sub.add_parser("run", parents=[common()],
+                                help="run a campaign (resumes automatically)")
     run_parser.add_argument("spec", help="campaign JSON file (docs/campaigns.md)")
-    run_parser.add_argument("--store", default=None, metavar="DIR",
-                            help="results-store directory (default: the spec's "
-                                 "'store' field, else results/<name>)")
     run_parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes for the sweep points")
     run_parser.add_argument("--max-attempts", type=int, default=3,
@@ -567,13 +581,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="legacy fail-fast mode: the first failing "
                                  "point aborts the campaign")
 
-    status_parser = sub.add_parser("status", help="report completion without running")
+    status_parser = sub.add_parser("status", parents=[common()],
+                                   help="report completion without running")
     status_parser.add_argument("spec")
-    status_parser.add_argument("--store", default=None, metavar="DIR")
 
-    clean_parser = sub.add_parser("clean", help="delete a campaign's stored results")
+    clean_parser = sub.add_parser("clean", parents=[common()],
+                                  help="delete a campaign's stored results")
     clean_parser.add_argument("spec")
-    clean_parser.add_argument("--store", default=None, metavar="DIR")
     return parser
 
 
@@ -596,10 +610,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 backoff_s=args.retry_backoff,
                 on_engine_error=args.on_engine_error,
             )
-        summary = run_campaign(spec, store, jobs=args.jobs, failure_policy=policy)
+        summary = run_campaign(spec, store, jobs=args.jobs, failure_policy=policy,
+                               # keep stdout pure JSON; progress goes to stderr
+                               stream=sys.stderr if args.json else sys.stdout)
+        if args.json:
+            print(json.dumps({
+                "name": spec.name,
+                "total_points": summary.total_points,
+                "executed": summary.executed_points,
+                "cached": summary.cached_points,
+                "failed": summary.failed_points,
+            }, sort_keys=True))
         return 1 if summary.failed_points else 0
     if args.command == "status":
         status = campaign_status(spec, store)
+        if args.json:
+            print(json.dumps({"name": spec.name, **status}, sort_keys=True))
+            all_done = (status["points_done"] == status["points_total"]
+                        and all(status["figures"].values()))
+            return 0 if all_done else 1
         print(
             f"campaign '{spec.name}': {status['points_done']}/"
             f"{status['points_total']} points complete"
@@ -616,7 +645,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if all_points and all_figures else 1
     if args.command == "clean":
         removed = store.clean()
-        print(f"removed {removed} stored result(s) from {store.directory}")
+        if args.json:
+            print(json.dumps({"removed": removed,
+                              "store": str(store.directory)}, sort_keys=True))
+        else:
+            print(f"removed {removed} stored result(s) from {store.directory}")
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -26,6 +26,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -87,7 +88,9 @@ def _sampled_points_markdown(store: ResultsStore) -> Optional[str]:
     """
     rows = []
     metric_names: List[str] = []
-    for record in store.records():
+    # iter_records streams shard by shard without caching indexes: the
+    # report stays a thin client even over stores far larger than memory.
+    for record in store.iter_records():
         summary = getattr(record.stats, "sampling", None)
         if summary is None or not summary.metrics:
             continue
@@ -175,7 +178,7 @@ def _reliability_markdown(store: ResultsStore) -> Optional[str]:
         "were quarantined (docs/robustness.md).",
     ]
     degraded = []
-    for record in store.records():
+    for record in store.iter_records():
         requested = record.params.get("engine")
         fell_back = record.engine_used is not None and record.engine_used != requested
         if record.attempts > 1 or fell_back:
@@ -332,14 +335,17 @@ def generate_report(
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from ..cli_common import store_options
+
     parser = argparse.ArgumentParser(
         prog="repro report",
         description="Render stored experiment results to Markdown/CSV tables "
                     "without re-simulating.",
+        parents=[store_options(
+            store_help="results-store directory (required unless "
+                       "--campaign provides one)",
+        )],
     )
-    parser.add_argument("--store", default=None, metavar="DIR",
-                        help="results-store directory (required unless "
-                             "--campaign provides one)")
     parser.add_argument("--campaign", default=None, metavar="SPEC",
                         help="take settings/engine/store from a campaign "
                              "JSON spec instead of the profile flags")
@@ -402,7 +408,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         engine=engine,
     )
     complete = sum(1 for entry in entries.values() if entry.complete)
-    print(f"report: {complete}/{len(entries)} experiments rendered to {out_dir}")
+    if args.json:
+        print(json.dumps({
+            "out_dir": str(out_dir),
+            "complete": complete,
+            "total": len(entries),
+            "experiments": {
+                name: entry.complete for name, entry in entries.items()
+            },
+        }, sort_keys=True))
+    else:
+        print(f"report: {complete}/{len(entries)} experiments rendered to "
+              f"{out_dir}")
     return 0 if complete == len(entries) else 1
 
 

@@ -1,0 +1,25 @@
+"""The campaign serving layer: `repro serve` daemon + HTTP client.
+
+A stdlib-only HTTP front end over the sharded results store
+(docs/serving.md).  ``repro serve`` exposes campaign submit / status /
+results streaming over four endpoints; submissions run on an async worker
+pool that schedules sweep points through the existing fault-tolerant
+:func:`~repro.experiments.campaign.run_campaign` machinery, so retries,
+quarantine and engine fallback behave exactly as in local runs.
+
+* :mod:`repro.service.jobs`   -- the in-process worker pool (JobManager)
+* :mod:`repro.service.server` -- ThreadingHTTPServer endpoints, `repro serve`
+* :mod:`repro.service.client` -- urllib client, `repro submit`
+"""
+
+from .client import ServeClient, ServiceError
+from .jobs import CampaignJob, JobManager
+from .server import serve
+
+__all__ = [
+    "CampaignJob",
+    "JobManager",
+    "ServeClient",
+    "ServiceError",
+    "serve",
+]

@@ -1,0 +1,205 @@
+"""The serving daemon's async worker pool.
+
+A :class:`JobManager` owns one sharded results store and a fixed pool of
+worker threads.  Each submitted :class:`CampaignJob` is a whole campaign;
+a worker claims it and drives it through the existing
+:func:`~repro.experiments.campaign.run_campaign` machinery (per-point
+process isolation, retries, quarantine, fallback -- docs/robustness.md),
+so a campaign submitted over HTTP behaves exactly like `repro campaign
+run` against the same store.  Concurrency is safe at both levels: jobs
+append through the store's per-shard writer locks, and completed points
+are cache hits for every later job (including resubmissions of the same
+campaign, which re-run 100% cached).
+
+Campaign identity is *content-addressed*: a job id is the content hash of
+the canonical spec payload, so submitting the same campaign twice names
+the same job -- an in-flight duplicate returns the existing job, a
+finished one is re-enqueued (and served from cache).
+"""
+
+from __future__ import annotations
+
+import io
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from ..experiments.campaign import CampaignSpec, campaign_status, run_campaign
+from ..experiments.runner import FailurePolicy
+from ..stats.store import ResultsStore, content_key
+
+__all__ = ["CampaignJob", "JobManager"]
+
+#: Job lifecycle: queued -> running -> done | failed.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+def campaign_id(payload: Mapping) -> str:
+    """The content-addressed job id of a campaign spec payload."""
+    return content_key(dict(payload))[:16]
+
+
+@dataclass
+class CampaignJob:
+    """One submitted campaign and its execution state."""
+
+    id: str
+    spec: CampaignSpec
+    payload: Dict
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Per-run counters from the last completed execution.
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    #: Traceback summary when ``state == "failed"``.
+    error: str = ""
+    #: Captured run_campaign progress log (one line per point).
+    log: str = ""
+
+
+class JobManager:
+    """Queue + worker pool executing submitted campaigns against one store."""
+
+    def __init__(
+        self,
+        store_path,
+        *,
+        workers: int = 2,
+        point_jobs: int = 2,
+        failure_policy: Optional[FailurePolicy] = None,
+    ) -> None:
+        self.store_path = Path(store_path)
+        self.point_jobs = max(1, int(point_jobs))
+        self.failure_policy = failure_policy or FailurePolicy()
+        self._jobs: Dict[str, CampaignJob] = {}
+        self._order: List[str] = []
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"repro-serve-{i}",
+                             daemon=True)
+            for i in range(max(1, int(workers)))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission + lookup
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: Mapping):
+        """Validate and enqueue a campaign; returns ``(job, created)``.
+
+        Raises :class:`~repro.experiments.campaign.CampaignError` on an
+        invalid spec (the server maps it to HTTP 400).  Submitting a
+        campaign that is already queued or running returns the existing
+        job; resubmitting a finished one re-enqueues it -- every completed
+        point is then a cache hit, so an unchanged campaign re-runs 100%
+        cached (the CI serve-smoke job asserts exactly that).
+        """
+        spec = CampaignSpec.from_dict(payload)
+        job_id = campaign_id(payload)
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                if job.state in ("queued", "running"):
+                    return job, False
+                job.state = "queued"
+                self._queue.put(job_id)
+                return job, False
+            job = CampaignJob(id=job_id, spec=spec, payload=dict(payload))
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._queue.put(job_id)
+            return job, True
+
+    def get(self, job_id: str) -> Optional[CampaignJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[CampaignJob]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per lifecycle state (the health endpoint's payload)."""
+        totals = {state: 0 for state in JOB_STATES}
+        for job in self.jobs():
+            totals[job.state] += 1
+        return totals
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+
+    def open_store(self) -> ResultsStore:
+        """A fresh store handle (per request/worker: indexes are not shared
+        across threads, concurrency is mediated by the files + locks)."""
+        return ResultsStore(self.store_path)
+
+    def status(self, job: CampaignJob) -> Dict[str, object]:
+        """The job's lifecycle state merged with live store-index counts."""
+        store_state = campaign_status(job.spec, self.open_store())
+        done = store_state["points_done"]
+        total = store_state["points_total"]
+        return {
+            "id": job.id,
+            "name": job.spec.name,
+            "state": job.state,
+            "points_total": total,
+            "points_done": done,
+            "points_pending": total - done,
+            "points_quarantined": store_state["points_quarantined"],
+            "executed": job.executed,
+            "cached": job.cached,
+            "failed": job.failed,
+            "error": job.error,
+        }
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:          # shutdown sentinel
+                return
+            job = self.get(job_id)
+            if job is None:             # pragma: no cover - cannot happen
+                continue
+            job.state = "running"
+            job.started_at = time.time()
+            stream = io.StringIO()
+            try:
+                summary = run_campaign(
+                    job.spec,
+                    self.open_store(),
+                    jobs=self.point_jobs,
+                    stream=stream,
+                    failure_policy=self.failure_policy,
+                )
+            except Exception as exc:    # noqa: BLE001 - jobs must not kill workers
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "failed"
+            else:
+                job.executed = summary.executed_points
+                job.cached = summary.cached_points
+                job.failed = summary.failed_points
+                job.state = "failed" if summary.failed_points else "done"
+            finally:
+                job.log = stream.getvalue()
+                job.finished_at = time.time()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the workers after their current jobs (used by tests/serve)."""
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=timeout)

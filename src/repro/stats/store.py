@@ -1,17 +1,40 @@
-"""Persistent, append-only store of simulation results (the campaign cache).
+"""Persistent, sharded, append-only store of simulation results.
 
 Every completed simulation -- a :class:`~repro.experiments.runner.SweepPoint`
 of a campaign grid or an :class:`~repro.experiments.common.ExperimentContext`
-run behind a figure module -- can be written to a :class:`ResultsStore`: one
-JSON record per line in ``<store-dir>/results.jsonl``, keyed by a content
-hash of everything that determines the simulation's outcome (workload,
-machine configuration, engine, settings, schema version).  Because records
-are appended as soon as each point completes:
+run behind a figure module -- can be written to a :class:`ResultsStore`,
+keyed by a content hash of everything that determines the simulation's
+outcome (workload, machine configuration, engine, settings, schema
+version).  Because records are appended as soon as each point completes:
 
 * re-running a campaign **skips** every point already in the store,
 * a campaign interrupted mid-run **resumes** from the completed points
   (at worst the in-flight point is lost -- a torn trailing line is ignored),
-* and independent invocations/processes **share** results through the file.
+* and independent invocations/processes **share** results through the files.
+
+Layout (docs/serving.md documents it field by field).  A store directory
+holds a ``store.json`` meta file and a ``shards/`` directory with one JSONL
+file per key prefix -- 16 shards on ``key[:1]`` for the hex content keys,
+plus an ``x`` overflow shard for non-hex keys::
+
+    <store-dir>/store.json          {"layout": "sharded/v1", ...}
+    <store-dir>/shards/0.jsonl ... f.jsonl   (one record per line)
+    <store-dir>/shards/<name>.lock  (per-shard advisory writer locks)
+    <store-dir>/failures.jsonl      (quarantine sidecar, docs/robustness.md)
+
+Appends take a per-shard advisory ``flock``, so several writer *processes*
+-- campaign workers, ``repro serve`` jobs, concurrent invocations -- can
+append to one store safely; readers never block.  Lookups load one shard's
+in-memory index at a time (built once per open), so a ``get`` touches 1/16
+of the store and :meth:`ResultsStore.known_keys` answers *is this point
+done?* from a raw key scan without parsing any record body.
+
+Stores written before the sharded layout -- a bare ``results.jsonl`` in the
+directory -- open **read-only** through a compatibility path: every lookup
+works, but :meth:`ResultsStore.put` raises :class:`LegacyStoreError` until
+``repro store migrate`` converts the store in place (atomically, preserving
+every record line byte for byte -- keys and bodies are unchanged, only the
+file they live in moves).
 
 Statistics round-trip bit-identically (``SimulationStats.to_json_dict``),
 so results loaded from the store compare equal to freshly simulated ones.
@@ -26,12 +49,13 @@ The store is also *verifiable and repairable* (docs/robustness.md): every
 appended line carries a checksum over its canonical JSON body, loading
 counts (and warns about) corrupt/torn lines instead of silently dropping
 them (:attr:`ResultsStore.corrupt_records`), :meth:`ResultsStore.verify`
-locates corrupt, torn and duplicate records without touching the file, and
-:meth:`ResultsStore.repair` compacts everything salvageable into a clean,
-fully-checksummed file (atomic replace, fsync'd, last-wins preserved).
-Quarantined sweep points live next to the results in a ``failures.jsonl``
-sidecar (:class:`FailureLog`), one JSON record per failed point with its
-key, payload, attempt count and captured traceback.
+locates corrupt, torn and duplicate records without touching the files, and
+:meth:`ResultsStore.compact` rewrites each shard to a clean, fully
+checksummed file (atomic replace, fsync'd, last-wins preserved) --
+:meth:`ResultsStore.repair` is the same operation and also covers legacy
+single-file stores.  Quarantined sweep points live next to the results in a
+``failures.jsonl`` sidecar (:class:`FailureLog`), one JSON record per
+failed point with its key, payload, attempt count and captured traceback.
 """
 
 from __future__ import annotations
@@ -39,11 +63,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import time
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple, Union
 
 from ..testing import faults
 from .counters import SimulationStats
@@ -51,6 +77,9 @@ from .sampling import SampledSimulationStats
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "STORE_LAYOUT",
+    "NUM_SHARDS",
+    "LegacyStoreError",
     "MissingRunError",
     "StoreCorruptionWarning",
     "StoredRun",
@@ -60,6 +89,8 @@ __all__ = [
     "StoreIssue",
     "StoreVerifyReport",
     "StoreRepairReport",
+    "StoreMigrateReport",
+    "shard_of",
     "content_key",
     "main",
 ]
@@ -71,15 +102,54 @@ PathLike = Union[str, Path]
 #: bump invalidates the whole store without touching any file).
 STORE_SCHEMA_VERSION = 1
 
-#: File name of the append-only record log inside a store directory.
+#: File name of the legacy (pre-shard) single-file record log.
 RESULTS_FILE = "results.jsonl"
 
 #: File name of the poison-point quarantine sidecar (docs/robustness.md).
 FAILURES_FILE = "failures.jsonl"
 
+#: Meta file marking a sharded store directory (its presence is the commit
+#: point of ``repro store migrate``).
+META_FILE = "store.json"
+
+#: Directory of per-prefix shard files inside a sharded store.
+SHARDS_DIR = "shards"
+
+#: Layout tag written to the meta file.
+STORE_LAYOUT = "sharded/v1"
+
+#: Hex content keys spread over 16 shards on their first character;
+#: anything else (tests, hand-made keys) lands in the ``x`` overflow shard.
+NUM_SHARDS = 16
+_HEX_SHARDS = frozenset("0123456789abcdef")
+OVERFLOW_SHARD = "x"
+
+#: Raw-line key extraction for the no-parse index path: matches the ``key``
+#: field of a (canonical or hand-written) record line without decoding the
+#: record body, so an index scan survives bodies that are torn or corrupt.
+_KEY_RE = re.compile(r'"key"\s*:\s*"([^"]*)"')
+
+
+def shard_of(key: str) -> str:
+    """The shard name a key lives in: ``key[:1]`` for hex keys, else ``x``."""
+    prefix = key[:1].lower()
+    return prefix if prefix in _HEX_SHARDS else OVERFLOW_SHARD
+
 
 class StoreCorruptionWarning(UserWarning):
     """Corrupt or torn record lines were skipped while loading a store."""
+
+
+class LegacyStoreError(RuntimeError):
+    """A write was attempted on a read-only legacy single-file store."""
+
+    def __init__(self, directory: Path) -> None:
+        super().__init__(
+            f"store {directory} uses the legacy single-file layout "
+            f"({RESULTS_FILE}) and opens read-only; convert it with "
+            f"`repro store migrate --store {directory}` (atomic, in place, "
+            f"record bytes unchanged -- docs/serving.md)"
+        )
 
 
 def _canonical(payload: Mapping) -> str:
@@ -136,6 +206,29 @@ def _append_line(path: Path, line: str, *, data_override: Optional[str] = None) 
         handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
+
+
+@contextmanager
+def _file_lock(path: Path):
+    """Advisory exclusive lock on ``path`` (created on demand).
+
+    Serialises concurrent *writers* of one shard across processes; readers
+    never take it.  On platforms without ``fcntl`` the lock degrades to a
+    no-op -- appends are still O_APPEND-atomic for these record sizes, only
+    the newline guard loses its cross-process exclusivity.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 class MissingRunError(KeyError):
@@ -230,98 +323,204 @@ class StoredRun:
 
 
 class ResultsStore:
-    """Append-only JSONL store of :class:`StoredRun` records.
+    """Sharded, append-only JSONL store of :class:`StoredRun` records.
 
-    ``ResultsStore(path)`` opens (or lazily creates) the store directory;
-    records live in ``path/results.jsonl``.  Lookups are served from an
-    in-memory index built on first access; :meth:`put` appends one line and
-    flushes immediately, so a concurrent reader (or a crashed writer's next
-    invocation) sees every completed record.  Duplicate keys are tolerated
-    -- the last record wins, and because keys hash the complete simulation
-    input, duplicates are bit-identical by construction.
+    ``ResultsStore(path)`` opens (or lazily creates) the store directory.
+    New stores use the sharded layout (module docstring); a directory
+    holding a bare legacy ``results.jsonl`` opens read-only through the
+    compatibility path until :meth:`migrate` converts it.
 
-    Appends open the file in ``O_APPEND`` mode per record, so several worker
-    processes can write one store concurrently (single-line appends are
-    atomic on POSIX for these record sizes); a torn trailing line from a
-    killed writer is skipped on load.
+    Lookups are served from per-shard in-memory indexes built on first
+    access to each shard; :meth:`put` appends one line under the shard's
+    advisory writer lock and flushes immediately, so a concurrent reader
+    (or a crashed writer's next invocation) sees every completed record.
+    Duplicate keys are tolerated -- the last record wins, and because keys
+    hash the complete simulation input, duplicates are bit-identical by
+    construction.
     """
 
     def __init__(self, path: PathLike) -> None:
         self.directory = Path(path)
-        self._index: Optional[Dict[str, StoredRun]] = None
+        #: Lazily resolved layout: ``"sharded"`` or ``"legacy"``.
+        self._layout: Optional[str] = None
+        #: Per-shard parsed indexes (legacy stores use the single key "").
+        self._shard_index: Dict[str, Dict[str, StoredRun]] = {}
         #: Lookup accounting for cache-hit reporting (`repro campaign`/CI).
         self.hits = 0
         self.misses = 0
-        #: Corrupt/torn record lines skipped by the last load (never silent:
-        #: a non-zero count emits one :class:`StoreCorruptionWarning`).
+        #: Corrupt/torn record lines skipped by loads since open (never
+        #: silent: each affected file emits one :class:`StoreCorruptionWarning`).
         self.corrupt_records = 0
-        #: ``(line_number, reason)`` for each skipped line of the last load.
+        #: ``(line_number, reason)`` per skipped line, per loaded file.
         self.corrupt_locations: List[Tuple[int, str]] = []
         self._failure_log: Optional[FailureLog] = None
+
+    # ------------------------------------------------------------------
+    # Layout and paths
+    # ------------------------------------------------------------------
+
+    @property
+    def results_path(self) -> Path:
+        """The *legacy* single-file record log (compatibility reads only)."""
+        return self.directory / RESULTS_FILE
+
+    @property
+    def meta_path(self) -> Path:
+        return self.directory / META_FILE
+
+    @property
+    def shards_path(self) -> Path:
+        return self.directory / SHARDS_DIR
+
+    @property
+    def layout(self) -> str:
+        """``"sharded"`` (the native layout) or ``"legacy"`` (read-only).
+
+        A directory containing ``store.json`` is sharded; one containing
+        only a bare ``results.jsonl`` is legacy.  A fresh/empty directory
+        becomes sharded on first write.  The meta file wins when both exist
+        (a migration that crashed after its commit point).
+        """
+        if self._layout is None:
+            if self.meta_path.exists():
+                self._layout = "sharded"
+            elif self.results_path.exists():
+                self._layout = "legacy"
+            else:
+                self._layout = "sharded"
+        return self._layout
+
+    def shard_path(self, key: str) -> Path:
+        """The shard file holding ``key`` (sharded layout)."""
+        return self.shards_path / f"{shard_of(key)}.jsonl"
+
+    def _shard_file(self, name: str) -> Path:
+        return self.shards_path / f"{name}.jsonl"
+
+    def _shard_lock(self, name: str) -> Path:
+        return self.shards_path / f"{name}.lock"
+
+    def shard_paths(self) -> List[Path]:
+        """Existing shard files, in deterministic (shard-name) order."""
+        if not self.shards_path.is_dir():
+            return []
+        return sorted(self.shards_path.glob("*.jsonl"))
+
+    def _data_files(self) -> List[Path]:
+        """Every record file of the store, in deterministic order."""
+        if self.layout == "legacy":
+            return [self.results_path] if self.results_path.exists() else []
+        return self.shard_paths()
+
+    def _ensure_sharded(self) -> None:
+        """Create the directory skeleton + meta file of a writable store."""
+        if self.layout == "legacy":
+            raise LegacyStoreError(self.directory)
+        self.shards_path.mkdir(parents=True, exist_ok=True)
+        if not self.meta_path.exists():
+            self._write_meta()
+
+    def _write_meta(self) -> None:
+        """Atomically (re)write the layout meta file."""
+        meta = {
+            "layout": STORE_LAYOUT,
+            "shards": NUM_SHARDS,
+            "shard_by": "key[:1]",
+            "schema": STORE_SCHEMA_VERSION,
+        }
+        # Per-process tmp name: concurrent writers may all create the meta
+        # file on first put; each renames its own tmp (identical content),
+        # so whichever replace lands last is still correct.
+        tmp = self.meta_path.with_name(f"{META_FILE}.{os.getpid()}.tmp")
+        tmp.write_text(_canonical(meta) + "\n", encoding="utf-8")
+        os.replace(tmp, self.meta_path)
 
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
 
-    @property
-    def results_path(self) -> Path:
-        """The JSONL record log backing this store."""
-        return self.directory / RESULTS_FILE
+    def _load_file(self, path: Path) -> Dict[str, StoredRun]:
+        """Parse one record file into a last-wins index, counting corruption."""
+        index: Dict[str, StoredRun] = {}
+        corrupt = 0
+        first_issue: Optional[Tuple[int, str]] = None
+        if path.exists():
+            # errors="replace": invalid UTF-8 bytes (bit rot, partial
+            # multi-byte writes) must surface as corrupt *lines* below,
+            # not abort the whole load with a UnicodeDecodeError.
+            with path.open("r", encoding="utf-8", errors="replace") as handle:
+                for lineno, raw in enumerate(handle, start=1):
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = StoredRun.from_json_dict(
+                            _decode_record_payload(line)
+                        )
+                    except (ValueError, KeyError, TypeError) as exc:
+                        # A torn line from an interrupted writer, hand
+                        # editing, or bit rot caught by the checksum; the
+                        # point simply reruns -- but never silently.
+                        corrupt += 1
+                        reason = f"{type(exc).__name__}: {exc}"
+                        self.corrupt_locations.append((lineno, reason))
+                        if first_issue is None:
+                            first_issue = (lineno, reason)
+                        continue
+                    index[record.key] = record
+        if corrupt:
+            self.corrupt_records += corrupt
+            first_line, reason = first_issue
+            warnings.warn(
+                f"{path}:{first_line}: skipped {corrupt} corrupt/torn "
+                f"record line(s) (first: {reason}); the affected points "
+                f"will re-run -- inspect with `repro store verify "
+                f"--store {self.directory}`, compact with `repro store "
+                f"compact --store {self.directory}`",
+                StoreCorruptionWarning,
+                stacklevel=4,
+            )
+        return index
 
-    def _load(self) -> Dict[str, StoredRun]:
-        if self._index is None:
-            self._index = {}
-            self.corrupt_records = 0
-            self.corrupt_locations = []
-            if self.results_path.exists():
-                # errors="replace": invalid UTF-8 bytes (bit rot, partial
-                # multi-byte writes) must surface as corrupt *lines* below,
-                # not abort the whole load with a UnicodeDecodeError.
-                with self.results_path.open(
-                    "r", encoding="utf-8", errors="replace"
-                ) as handle:
-                    for lineno, raw in enumerate(handle, start=1):
-                        line = raw.strip()
-                        if not line:
-                            continue
-                        try:
-                            record = StoredRun.from_json_dict(
-                                _decode_record_payload(line)
-                            )
-                        except (ValueError, KeyError, TypeError) as exc:
-                            # A torn line from an interrupted writer, hand
-                            # editing, or bit rot caught by the checksum; the
-                            # point simply reruns -- but never silently.
-                            self.corrupt_records += 1
-                            self.corrupt_locations.append(
-                                (lineno, f"{type(exc).__name__}: {exc}")
-                            )
-                            continue
-                        self._index[record.key] = record
-            if self.corrupt_records:
-                first_line, reason = self.corrupt_locations[0]
-                warnings.warn(
-                    f"{self.results_path}:{first_line}: skipped "
-                    f"{self.corrupt_records} corrupt/torn record line(s) "
-                    f"(first: {reason}); the affected points will re-run -- "
-                    f"inspect with `repro store verify {self.directory}`, "
-                    f"compact with `repro store repair {self.directory}`",
-                    StoreCorruptionWarning,
-                    stacklevel=3,
-                )
-        return self._index
+    def _shard_of_key(self, key: str) -> str:
+        return "" if self.layout == "legacy" else shard_of(key)
+
+    def _index_for(self, shard: str) -> Dict[str, StoredRun]:
+        """The parsed index of one shard (``""`` = the legacy file)."""
+        index = self._shard_index.get(shard)
+        if index is None:
+            path = self.results_path if shard == "" else self._shard_file(shard)
+            index = self._load_file(path)
+            self._shard_index[shard] = index
+        return index
+
+    def _load_all(self) -> Dict[str, StoredRun]:
+        """Every shard's index folded into one mapping (loads all shards)."""
+        merged: Dict[str, StoredRun] = {}
+        if self.layout == "legacy":
+            return dict(self._index_for(""))
+        for path in self.shard_paths():
+            merged.update(self._index_for(path.stem))
+        return merged
 
     def reload(self) -> None:
-        """Drop the in-memory index; the next lookup re-reads the file."""
-        self._index = None
+        """Drop the in-memory indexes; the next lookup re-reads the files."""
+        self._shard_index = {}
+        self._layout = None
+        self.corrupt_records = 0
+        self.corrupt_locations = []
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
 
     def get(self, key: str) -> Optional[StoredRun]:
-        """Return the stored record for ``key``, counting hits and misses."""
-        record = self._load().get(key)
+        """Return the stored record for ``key``, counting hits and misses.
+
+        Only the shard holding ``key`` is read and indexed, so a lookup
+        touches ~1/16 of a sharded store.
+        """
+        record = self._index_for(self._shard_of_key(key)).get(key)
         if record is None:
             self.misses += 1
         else:
@@ -329,17 +528,63 @@ class ResultsStore:
         return record
 
     def __contains__(self, key: str) -> bool:
-        return key in self._load()
+        return key in self._index_for(self._shard_of_key(key))
 
     def __len__(self) -> int:
-        return len(self._load())
+        return len(self._load_all())
 
     def keys(self) -> List[str]:
-        return list(self._load())
+        return list(self._load_all())
 
     def records(self) -> Iterator[StoredRun]:
-        """Iterate over the stored records (last-wins deduplicated)."""
-        return iter(self._load().values())
+        """Iterate over the stored records (last-wins deduplicated).
+
+        Shards are indexed (and cached) one at a time, in shard order.
+        """
+        if self.layout == "legacy":
+            yield from self._index_for("").values()
+            return
+        for path in self.shard_paths():
+            yield from self._index_for(path.stem).values()
+
+    def iter_records(self) -> Iterator[StoredRun]:
+        """Stream the stored records without caching any shard index.
+
+        Peak memory is one shard's records (plus the record being yielded),
+        so thin clients (``repro report``, the serving daemon's NDJSON
+        endpoint) can walk stores far larger than RAM-per-shard would
+        otherwise allow.  Last-wins semantics match :meth:`records`.
+        """
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", StoreCorruptionWarning)
+            scratch = ResultsStore(self.directory)
+            for path in scratch._data_files():
+                shard = "" if scratch.layout == "legacy" else path.stem
+                yield from scratch._index_for(shard).values()
+                scratch._shard_index.pop(shard, None)
+
+    def known_keys(self) -> Set[str]:
+        """Every key present in the store, from a raw scan -- no body parse.
+
+        This is the shard *index* view: a record whose body is torn or
+        corrupt but whose ``"key"`` field survives still counts (the point
+        shows as done in ``repro campaign status``; an actual :meth:`get`
+        of it would miss and the point would re-run).  Built by a regex
+        scan over the raw lines, so it never constructs a
+        :class:`StoredRun` -- ``tests/experiments/test_status_index.py``
+        pins that.
+        """
+        keys: Set[str] = set()
+        for path in self._data_files():
+            try:
+                with path.open("r", encoding="utf-8", errors="replace") as handle:
+                    for line in handle:
+                        match = _KEY_RE.search(line)
+                        if match is not None:
+                            keys.add(match.group(1))
+            except OSError:
+                continue
+        return keys
 
     # ------------------------------------------------------------------
     # Writing
@@ -359,8 +604,14 @@ class ResultsStore:
         return _canonical(payload)
 
     def put(self, record: StoredRun) -> StoredRun:
-        """Append ``record`` to the log and index it (durable immediately)."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+        """Append ``record`` to its shard and index it (durable immediately).
+
+        The append holds the shard's advisory writer lock, so concurrent
+        writer processes interleave whole lines, never bytes.  Raises
+        :class:`LegacyStoreError` on a read-only legacy store.
+        """
+        self._ensure_sharded()
+        shard = shard_of(record.key)
         line = self.encode_record(record)
         plan = faults.active()
         data_override = None
@@ -372,8 +623,11 @@ class ResultsStore:
             mangled = plan.mangle_append(record.key, line + "\n")
             if mangled != line + "\n":
                 data_override = mangled
-        _append_line(self.results_path, line, data_override=data_override)
-        self._load()[record.key] = record
+        with _file_lock(self._shard_lock(shard)):
+            _append_line(self._shard_file(shard), line, data_override=data_override)
+        cached = self._shard_index.get(shard)
+        if cached is not None:
+            cached[record.key] = record
         return record
 
     def clean(self) -> int:
@@ -381,11 +635,15 @@ class ResultsStore:
 
         Returns how many stored results were removed.
         """
-        removed = len(self._load())
-        if self.results_path.exists():
-            self.results_path.unlink()
+        removed = len(self._load_all())
+        if self.layout == "legacy":
+            if self.results_path.exists():
+                self.results_path.unlink()
+        else:
+            for path in self.shard_paths():
+                path.unlink()
         self.failure_log.clear()
-        self._index = {}
+        self._shard_index = {}
         self.hits = 0
         self.misses = 0
         self.corrupt_records = 0
@@ -398,7 +656,7 @@ class ResultsStore:
 
     @property
     def failures_path(self) -> Path:
-        """The quarantine sidecar next to the record log."""
+        """The quarantine sidecar next to the record files."""
         return self.directory / FAILURES_FILE
 
     @property
@@ -409,21 +667,22 @@ class ResultsStore:
         return self._failure_log
 
     # ------------------------------------------------------------------
-    # Integrity: verify and repair
+    # Integrity: verify, compact (repair), migrate
     # ------------------------------------------------------------------
 
-    def _scan(self) -> Tuple["StoreVerifyReport", Dict[str, StoredRun]]:
-        """One pass over the raw log: integrity report + salvageable records."""
-        report = StoreVerifyReport(path=self.results_path)
+    def _scan_file(
+        self, path: Path, report: "StoreVerifyReport",
+        key_counts: Dict[str, int],
+    ) -> Dict[str, StoredRun]:
+        """One pass over one raw log file: fold into ``report``, return records."""
         records: Dict[str, StoredRun] = {}
-        if not self.results_path.exists():
-            return report, records
-        text = self.results_path.read_text(encoding="utf-8", errors="replace")
+        if not path.exists():
+            return records
+        text = path.read_text(encoding="utf-8", errors="replace")
         ends_with_newline = text.endswith("\n")
         lines = text.split("\n")
         if lines and lines[-1] == "":
             lines.pop()
-        key_counts: Dict[str, int] = {}
         for lineno, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
@@ -441,63 +700,156 @@ class ResultsStore:
                 else:
                     kind = "unparsable"
                 report.issues.append(
-                    StoreIssue(lineno, kind, f"{type(exc).__name__}: {exc}")
+                    StoreIssue(lineno, kind, f"{type(exc).__name__}: {exc}",
+                               path=path)
                 )
                 continue
             report.valid_records += 1
             key_counts[record.key] = key_counts.get(record.key, 0) + 1
-            records[record.key] = record    # later lines win, as in _load
+            records[record.key] = record    # later lines win, as in loads
+        return records
+
+    def _scan(self) -> Tuple["StoreVerifyReport", Dict[Path, Dict[str, StoredRun]]]:
+        """Scan every record file: integrity report + per-file salvage."""
+        report = StoreVerifyReport(path=self.directory)
+        key_counts: Dict[str, int] = {}
+        per_file: Dict[Path, Dict[str, StoredRun]] = {}
+        for path in self._data_files():
+            per_file[path] = self._scan_file(path, report, key_counts)
+        report.files = len(per_file)
         report.unique_keys = len(key_counts)
         report.duplicate_keys = {
             key: count for key, count in key_counts.items() if count > 1
         }
-        return report, records
+        return report, per_file
 
     def verify(self) -> "StoreVerifyReport":
-        """Scan the log and report corrupt, torn and duplicate records.
+        """Scan the record files and report corrupt, torn and duplicates.
 
-        Pure read: the file, the in-memory index and the lookup counters are
-        all left untouched.  ``repro store verify`` prints the report and
-        exits non-zero unless :attr:`StoreVerifyReport.clean`.
+        Pure read: the files, the in-memory indexes and the lookup counters
+        are all left untouched.  ``repro store verify`` prints the report
+        and exits non-zero unless :attr:`StoreVerifyReport.clean`.
         """
-        report, _records = self._scan()
+        report, _per_file = self._scan()
         return report
 
-    def repair(self) -> "StoreRepairReport":
-        """Compact the log to a clean, fully-checksummed file.
-
-        Every salvageable record is rewritten in file order with duplicates
-        collapsed to their last occurrence (exactly the last-wins view reads
-        already had), corrupt/torn lines are dropped, and legacy records
-        gain checksums.  The new file is written to a temp path, fsync'd and
-        atomically renamed over the log, so a crash mid-repair leaves either
-        the old file or the new one -- never a mix.
-        """
-        report, records = self._scan()
-        if not self.results_path.exists():
-            return StoreRepairReport(path=self.results_path)
-        tmp_path = self.results_path.with_name(RESULTS_FILE + ".tmp")
+    def _rewrite_file(self, path: Path, records: Dict[str, StoredRun]) -> None:
+        """Atomically replace ``path`` with the clean encoding of ``records``."""
+        tmp_path = path.with_name(path.name + ".tmp")
         with tmp_path.open("w", encoding="utf-8") as handle:
             for record in records.values():
                 handle.write(self.encode_record(record) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
-        os.replace(tmp_path, self.results_path)
+        os.replace(tmp_path, path)
         try:
-            directory_fd = os.open(self.directory, os.O_RDONLY)
+            directory_fd = os.open(path.parent, os.O_RDONLY)
             os.fsync(directory_fd)
             os.close(directory_fd)
         except OSError:  # pragma: no cover - directory fsync is best-effort
             pass
-        self._index = None      # the next lookup re-reads the clean file
-        return StoreRepairReport(
-            path=self.results_path,
-            kept=len(records),
+
+    def compact(self) -> "StoreRepairReport":
+        """Compact every record file to a clean, fully-checksummed state.
+
+        Per file (shard by shard, each under its writer lock), every
+        salvageable record is rewritten in file order with duplicates
+        collapsed to their last occurrence (exactly the last-wins view
+        reads already had), corrupt/torn lines are dropped, and legacy
+        records gain checksums.  Each file is written to a temp path,
+        fsync'd and atomically renamed, so a crash mid-compaction leaves
+        every shard either old or new -- never a mix.
+
+        Works on both layouts; on a legacy store it compacts the single
+        file in place (the pre-shard ``repair`` behaviour) without
+        converting the layout -- use :meth:`migrate` for that.
+        """
+        report, per_file = self._scan()
+        out = StoreRepairReport(
+            path=self.directory,
             dropped_corrupt=len(report.issues),
             collapsed_duplicates=sum(
                 count - 1 for count in report.duplicate_keys.values()
             ),
         )
+        for path, records in per_file.items():
+            out.kept += len(records)
+            if self.layout == "legacy":
+                self._rewrite_file(path, records)
+            else:
+                with _file_lock(self._shard_lock(path.stem)):
+                    self._rewrite_file(path, records)
+        self._shard_index = {}      # the next lookup re-reads the clean files
+        self.corrupt_records = 0
+        self.corrupt_locations = []
+        return out
+
+    def repair(self) -> "StoreRepairReport":
+        """Alias of :meth:`compact` (the historical name; docs/robustness.md)."""
+        return self.compact()
+
+    def migrate(self) -> "StoreMigrateReport":
+        """Convert a legacy single-file store to the sharded layout, in place.
+
+        Every *valid* record line of ``results.jsonl`` is copied to its
+        shard file **byte for byte** (keys, bodies and duplicate order all
+        preserved -- a migrated store serves bit-identical records);
+        corrupt/torn lines are dropped and counted.  The shard tree is
+        built under a temp name, fsync'd, renamed into place, and the
+        ``store.json`` meta file is the atomic commit point: a crash
+        leaves either a fully legacy or a fully sharded store.  Idempotent
+        on an already-sharded store (it only clears a leftover legacy
+        file).
+        """
+        report = StoreMigrateReport(path=self.directory)
+        if self.layout == "sharded":
+            # Already converted (or a migration crashed after its commit
+            # point): just clear any stale legacy remnant.
+            if self.results_path.exists():
+                self.results_path.unlink()
+                report.removed_legacy = True
+            return report
+
+        buckets: Dict[str, List[str]] = {}
+        text = self.results_path.read_text(encoding="utf-8", errors="replace")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                payload = _decode_record_payload(line)
+                key = payload["key"]
+            except (ValueError, KeyError, TypeError):
+                report.dropped_corrupt += 1
+                continue
+            buckets.setdefault(shard_of(str(key)), []).append(line)
+            report.migrated += 1
+
+        tmp_dir = self.directory / (SHARDS_DIR + ".tmp")
+        if tmp_dir.exists():        # leftovers of an interrupted migration
+            for stale in tmp_dir.iterdir():
+                stale.unlink()
+            tmp_dir.rmdir()
+        tmp_dir.mkdir(parents=True)
+        for shard, shard_lines in sorted(buckets.items()):
+            shard_file = tmp_dir / f"{shard}.jsonl"
+            with shard_file.open("w", encoding="utf-8") as handle:
+                handle.write("\n".join(shard_lines) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        if self.shards_path.exists():   # stale tree from a pre-commit crash
+            for stale in self.shards_path.iterdir():
+                stale.unlink()
+            self.shards_path.rmdir()
+        os.rename(tmp_dir, self.shards_path)
+        self._write_meta()              # commit point: layout flips here
+        self.results_path.unlink()
+        report.removed_legacy = True
+        report.shards = len(buckets)
+        self.reload()
+        return report
 
 
 # ----------------------------------------------------------------------
@@ -514,13 +866,17 @@ class StoreIssue:
     #: still parse) or ``unparsable`` (anything else).
     kind: str
     detail: str
+    #: The record file the line lives in (a shard file, or the legacy log).
+    path: Optional[Path] = None
 
 
 @dataclass
 class StoreVerifyReport:
-    """What :meth:`ResultsStore.verify` found in one scan of the log."""
+    """What :meth:`ResultsStore.verify` found in one scan of the store."""
 
     path: Path
+    #: Record files scanned (shard files, or 1 for a legacy store).
+    files: int = 0
     total_lines: int = 0
     valid_records: int = 0
     unique_keys: int = 0
@@ -536,9 +892,29 @@ class StoreVerifyReport:
         normal operation: concurrent writers, last record wins)."""
         return not self.issues
 
+    def to_json_dict(self) -> Dict:
+        """Machine-readable form (``repro store verify --json``)."""
+        return {
+            "path": str(self.path),
+            "files": self.files,
+            "total_lines": self.total_lines,
+            "valid_records": self.valid_records,
+            "unique_keys": self.unique_keys,
+            "unchecksummed": self.unchecksummed,
+            "duplicate_keys": dict(self.duplicate_keys),
+            "issues": [
+                {"file": str(issue.path) if issue.path else None,
+                 "line": issue.lineno, "kind": issue.kind,
+                 "detail": issue.detail}
+                for issue in self.issues
+            ],
+            "clean": self.clean,
+        }
+
     def format(self) -> str:
         lines = [
-            f"store {self.path}: {self.total_lines} record line(s), "
+            f"store {self.path}: {self.files} file(s), "
+            f"{self.total_lines} record line(s), "
             f"{self.valid_records} valid, {self.unique_keys} unique key(s)"
         ]
         if self.duplicate_keys:
@@ -553,32 +929,74 @@ class StoreVerifyReport:
         if self.unchecksummed:
             lines.append(
                 f"  {self.unchecksummed} legacy record(s) without a checksum "
-                f"(repair adds them)"
+                f"(compact adds them)"
             )
         for issue in self.issues:
-            lines.append(f"  line {issue.lineno}: {issue.kind}: {issue.detail}")
+            where = f"{issue.path.name}:" if issue.path is not None else "line "
+            lines.append(f"  {where}{issue.lineno}: {issue.kind}: {issue.detail}")
         lines.append(
             "verdict: clean" if self.clean
             else f"verdict: CORRUPT ({len(self.issues)} bad line(s); "
-                 f"run `repro store repair`)"
+                 f"run `repro store compact`)"
         )
         return "\n".join(lines)
 
 
 @dataclass
 class StoreRepairReport:
-    """What :meth:`ResultsStore.repair` rewrote."""
+    """What :meth:`ResultsStore.compact` rewrote."""
 
     path: Path
     kept: int = 0
     dropped_corrupt: int = 0
     collapsed_duplicates: int = 0
 
+    def to_json_dict(self) -> Dict:
+        return {
+            "path": str(self.path),
+            "kept": self.kept,
+            "dropped_corrupt": self.dropped_corrupt,
+            "collapsed_duplicates": self.collapsed_duplicates,
+        }
+
     def format(self) -> str:
         return (
             f"repaired {self.path}: kept {self.kept} record(s), dropped "
             f"{self.dropped_corrupt} corrupt/torn line(s), collapsed "
             f"{self.collapsed_duplicates} duplicate(s)"
+        )
+
+
+@dataclass
+class StoreMigrateReport:
+    """What :meth:`ResultsStore.migrate` converted."""
+
+    path: Path
+    #: Record lines copied byte-identically into shard files.
+    migrated: int = 0
+    dropped_corrupt: int = 0
+    shards: int = 0
+    removed_legacy: bool = False
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "path": str(self.path),
+            "migrated": self.migrated,
+            "dropped_corrupt": self.dropped_corrupt,
+            "shards": self.shards,
+            "removed_legacy": self.removed_legacy,
+        }
+
+    def format(self) -> str:
+        if self.migrated == 0 and not self.dropped_corrupt and not self.shards:
+            state = "already sharded"
+            if self.removed_legacy:
+                state += " (removed stale legacy file)"
+            return f"store {self.path}: {state}"
+        return (
+            f"migrated {self.path}: {self.migrated} record line(s) "
+            f"byte-identical into {self.shards} shard(s), dropped "
+            f"{self.dropped_corrupt} corrupt/torn line(s)"
         )
 
 
@@ -626,10 +1044,10 @@ class FailureRecord:
 class FailureLog:
     """Append-only JSONL sidecar of quarantined points.
 
-    Same durability discipline as the results log (O_APPEND, newline guard,
-    fsync per record), but *advisory* semantics: a quarantined point is a
-    report, not a skip-list entry -- the next campaign invocation retries
-    it, because the faults the quarantine exists for are transient.
+    Same durability discipline as the record files (O_APPEND, newline
+    guard, fsync per record), but *advisory* semantics: a quarantined point
+    is a report, not a skip-list entry -- the next campaign invocation
+    retries it, because the faults the quarantine exists for are transient.
     """
 
     def __init__(self, path: PathLike) -> None:
@@ -658,6 +1076,18 @@ class FailureLog:
                     continue        # torn final line from a killed writer
         return records
 
+    def keys(self) -> Set[str]:
+        """The quarantined point keys, from a raw scan (no body parse)."""
+        keys: Set[str] = set()
+        if not self.path.exists():
+            return keys
+        with self.path.open("r", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                match = _KEY_RE.search(line)
+                if match is not None:
+                    keys.add(match.group(1))
+        return keys
+
     def __len__(self) -> int:
         return len(self.records())
 
@@ -670,41 +1100,64 @@ class FailureLog:
 
 
 # ----------------------------------------------------------------------
-# CLI (`repro store verify|repair`)
+# CLI (`repro store verify|compact|repair|migrate`)
 # ----------------------------------------------------------------------
 
 
 def build_parser():
     import argparse
 
+    from ..cli_common import resolve_store_path, store_options  # noqa: F401
+
     parser = argparse.ArgumentParser(
         prog="repro store",
-        description="Verify or repair a results store (docs/robustness.md).",
+        description="Verify, compact or migrate a results store "
+                    "(docs/robustness.md, docs/serving.md).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    verify_parser = sub.add_parser(
-        "verify", help="scan for corrupt/torn/duplicate records (read-only)"
-    )
-    verify_parser.add_argument("store", help="results-store directory")
-    repair_parser = sub.add_parser(
-        "repair", help="compact to a clean, checksummed file (atomic replace)"
-    )
-    repair_parser.add_argument("store", help="results-store directory")
+    for name, text in (
+        ("verify", "scan for corrupt/torn/duplicate records (read-only)"),
+        ("compact", "rewrite every shard to a clean, checksummed file "
+                    "(atomic per shard)"),
+        ("repair", "alias of compact (the historical name)"),
+        ("migrate", "convert a legacy single-file store to the sharded "
+                    "layout, in place, record bytes unchanged"),
+    ):
+        command = sub.add_parser(name, help=text, parents=[store_options()])
+        # Old spelling (`repro store verify DIR`) kept as a hidden alias
+        # for one release; --store PATH is the unified form.
+        command.add_argument("store_positional", nargs="?", default=None,
+                             help=argparse.SUPPRESS)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from ..cli_common import resolve_store_path
+
     args = build_parser().parse_args(argv)
-    store = ResultsStore(args.store)
+    directory = resolve_store_path(args.store, args.store_positional,
+                                   command="repro store")
+    store = ResultsStore(directory)
+
+    def emit(report) -> None:
+        if args.json:
+            print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.format())
+
     if args.command == "verify":
         report = store.verify()
-        print(report.format())
+        emit(report)
         return 0 if report.clean else 1
-    if args.command == "repair":
-        repair_report = store.repair()
-        print(repair_report.format())
+    if args.command in ("compact", "repair"):
+        emit(store.compact())
         after = store.verify()
-        print(after.format())
+        emit(after)
+        return 0 if after.clean else 1
+    if args.command == "migrate":
+        emit(store.migrate())
+        after = store.verify()
+        emit(after)
         return 0 if after.clean else 1
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -105,3 +105,20 @@ __all__ = [
     "cloudsuite_names",
     "spec_names",
 ]
+
+
+def __getattr__(name):
+    # Deprecated alias of the repro.api facade, kept one release.
+    if name == "analyze":
+        import warnings
+
+        warnings.warn(
+            "importing 'analyze' from repro.workloads is deprecated; "
+            "use repro.api.analyze (docs/architecture.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..api import analyze
+
+        return analyze
+    raise AttributeError(f"module 'repro.workloads' has no attribute {name!r}")

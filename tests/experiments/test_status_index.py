@@ -1,0 +1,117 @@
+"""Regression: `repro campaign status` consults only the key index.
+
+Counting completed points must never parse stored record bodies -- on a
+store of millions of results that turns a cheap status probe into a full
+load.  Pinned two ways: a record whose body is corrupt (but whose key
+field survives) still counts as done, and a monkeypatched
+``StoredRun.from_json_dict`` proves no record is materialised at all.
+"""
+
+import pytest
+
+from repro.experiments.campaign import CampaignSpec, campaign_status
+from repro.experiments.runner import sweep_point_key
+from repro.stats import store as store_module
+from repro.stats.counters import SimulationStats
+from repro.stats.store import FailureRecord, ResultsStore, StoredRun
+
+SPEC = CampaignSpec.from_dict({
+    "name": "status-index",
+    "settings": {
+        "scale": 4096,
+        "accesses_per_thread": 50,
+        "num_sockets": 2,
+        "cores_per_socket": 1,
+    },
+    "sweeps": [
+        {
+            "protocols": ["baseline", "c3d"],
+            "workloads": ["facesim", "streamcluster"],
+            "topologies": [{"sockets": 2, "cores_per_socket": 1}],
+        }
+    ],
+})
+
+
+def _fabricated(key: str) -> StoredRun:
+    return StoredRun(
+        key=key,
+        params={"kind": "test"},
+        stats=SimulationStats(),
+        total_time_ns=1.0,
+        inter_socket_bytes=0,
+        accesses_executed=1,
+    )
+
+
+def test_status_counts_from_key_index_without_parsing_bodies(
+    tmp_path, monkeypatch
+):
+    points = SPEC.expand()
+    keys = [sweep_point_key(point, SPEC.engine) for point in points]
+    store = ResultsStore(tmp_path / "store")
+    store.put(_fabricated(keys[0]))
+    store.put(_fabricated(keys[1]))
+
+    # Corrupt one record's *body* while keeping its key field intact: the
+    # shard index still lists the point as done; a full-record parse would
+    # reject the line and report it pending.
+    shard = store.shard_path(keys[0])
+    text = shard.read_text(encoding="utf-8")
+    assert '"accesses_executed":1' in text
+    shard.write_text(
+        text.replace('"accesses_executed":1', '"accesses_executed":<', 1),
+        encoding="utf-8",
+    )
+
+    # One quarantined, not-yet-completed point.
+    store.failure_log.append(
+        FailureRecord(key=keys[2], params={}, attempts=3, error="boom")
+    )
+
+    def _no_parse(cls, payload):
+        raise AssertionError("campaign_status parsed a stored record body")
+
+    monkeypatch.setattr(
+        store_module.StoredRun, "from_json_dict", classmethod(_no_parse)
+    )
+
+    status = campaign_status(SPEC, ResultsStore(tmp_path / "store"))
+    assert status["points_done"] == 2            # corrupt body still indexed
+    assert status["points_total"] == len(points)
+    assert status["points_quarantined"] == 1
+    assert status["figures"] == {}
+
+
+def test_status_quarantine_clears_once_point_completes(tmp_path):
+    points = SPEC.expand()
+    keys = [sweep_point_key(point, SPEC.engine) for point in points]
+    store = ResultsStore(tmp_path / "store")
+    store.failure_log.append(
+        FailureRecord(key=keys[0], params={}, attempts=3, error="boom")
+    )
+    assert campaign_status(SPEC, store)["points_quarantined"] == 1
+    store.put(_fabricated(keys[0]))              # retry succeeded
+    status = campaign_status(SPEC, ResultsStore(tmp_path / "store"))
+    assert status["points_quarantined"] == 0
+    assert status["points_done"] == 1
+
+
+def test_corrupt_indexed_point_still_reruns(tmp_path):
+    """The index view is optimistic; an actual get() of the corrupt record
+    misses, so the point re-executes on the next run (nothing is lost)."""
+    points = SPEC.expand()
+    key = sweep_point_key(points[0], SPEC.engine)
+    store = ResultsStore(tmp_path / "store")
+    store.put(_fabricated(key))
+    shard = store.shard_path(key)
+    shard.write_text(
+        shard.read_text(encoding="utf-8").replace(
+            '"accesses_executed":1', '"accesses_executed":<', 1
+        ),
+        encoding="utf-8",
+    )
+    fresh = ResultsStore(tmp_path / "store")
+    assert key in fresh.known_keys()
+    with pytest.warns(store_module.StoreCorruptionWarning):
+        assert fresh.get(key) is None

@@ -137,7 +137,8 @@ def test_store_skips_torn_trailing_line(tmp_path):
     store.put(_record("k1"))
     store.put(_record("k2"))
     # Simulate a writer killed mid-append: a torn, unparsable final line.
-    with store.results_path.open("a", encoding="utf-8") as handle:
+    # (Non-hex test keys all live in the overflow shard file.)
+    with store.shard_path("k1").open("a", encoding="utf-8") as handle:
         handle.write('{"key": "k3", "params": {"tr')
     reopened = ResultsStore(path)
     assert set(reopened.keys()) == {"k1", "k2"}
@@ -160,7 +161,7 @@ def test_store_clean_removes_everything(tmp_path):
     store.put(_record("k2"))
     assert store.clean() == 2
     assert len(store) == 0
-    assert not store.results_path.exists()
+    assert store.shard_paths() == []
     assert ResultsStore(tmp_path / "store").get("k1") is None
 
 

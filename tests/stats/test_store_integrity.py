@@ -51,10 +51,11 @@ def _populate(path, n: int = 4) -> ResultsStore:
 def test_checksum_catches_altered_bytes_that_still_parse(tmp_path):
     store = _populate(tmp_path / "store", n=2)
     # Flip a digit inside a stored float: the line is still valid JSON with
-    # a valid schema, so only the checksum can catch it.
-    text = store.results_path.read_text(encoding="utf-8")
+    # a valid schema, so only the checksum can catch it.  (All non-hex test
+    # keys land in one overflow shard file.)
+    text = store.shard_path("k0").read_text(encoding="utf-8")
     assert '"total_time_ns":321.5' in text
-    store.results_path.write_text(
+    store.shard_path("k0").write_text(
         text.replace('"total_time_ns":321.5', '"total_time_ns":321.7', 1),
         encoding="utf-8",
     )
@@ -69,15 +70,15 @@ def test_checksum_catches_altered_bytes_that_still_parse(tmp_path):
 
 def test_corrupt_records_counted_and_warned_once(tmp_path):
     store = _populate(tmp_path / "store", n=3)
-    with store.results_path.open("a", encoding="utf-8") as handle:
+    with store.shard_path("k0").open("a", encoding="utf-8") as handle:
         handle.write("not json at all\n")
-        handle.write('{"key": "torn", "params": {"tr')
+        handle.write('{"params": {"tr')
     with pytest.warns(StoreCorruptionWarning) as caught:
         reopened = ResultsStore(tmp_path / "store")
         assert set(reopened.keys()) == {"k0", "k1", "k2"}
     assert len(caught) == 1
     assert "2 corrupt/torn record line(s)" in str(caught[0].message)
-    assert str(reopened.results_path) in str(caught[0].message)
+    assert str(reopened.shard_path("k0")) in str(caught[0].message)
     assert reopened.corrupt_records == 2
     assert [lineno for lineno, _reason in reopened.corrupt_locations] == [4, 5]
 
@@ -98,7 +99,7 @@ def test_verify_clean_store(tmp_path):
 def test_verify_classifies_torn_vs_unparsable_vs_duplicates(tmp_path):
     store = _populate(tmp_path / "store", n=2)
     store.put(_record("k0", reads=1))        # duplicate (bit-identical)
-    with store.results_path.open("a", encoding="utf-8") as handle:
+    with store.shard_path("k0").open("a", encoding="utf-8") as handle:
         handle.write("garbage line\n")
         handle.write('{"key": "torn"')      # no trailing newline: torn
     report = ResultsStore(tmp_path / "store").verify()
@@ -110,7 +111,7 @@ def test_verify_classifies_torn_vs_unparsable_vs_duplicates(tmp_path):
 def test_repair_compacts_to_clean_store(tmp_path):
     store = _populate(tmp_path / "store", n=3)
     store.put(_record("k1", reads=2))        # duplicate
-    with store.results_path.open("a", encoding="utf-8") as handle:
+    with store.shard_path("k0").open("a", encoding="utf-8") as handle:
         handle.write("garbage\n")
         handle.write('{"key": "torn", "par')
     store = ResultsStore(tmp_path / "store")
@@ -145,7 +146,7 @@ def test_store_cli_verify_and_repair(tmp_path, capsys):
 
     store = _populate(tmp_path / "store", n=2)
     assert store_main(["verify", str(tmp_path / "store")]) == 0
-    with store.results_path.open("a", encoding="utf-8") as handle:
+    with store.shard_path("k0").open("a", encoding="utf-8") as handle:
         handle.write("broken\n")
     assert store_main(["verify", str(tmp_path / "store")]) == 1
     assert "CORRUPT" in capsys.readouterr().out
@@ -210,7 +211,7 @@ def _apply_corruptions(path, operations) -> None:
 def test_repair_round_trips_arbitrary_corruption(tmp_path_factory, operations):
     path = tmp_path_factory.mktemp("chaos") / "store"
     store = _populate(path, n=3)
-    _apply_corruptions(store.results_path, operations)
+    _apply_corruptions(store.shard_path("k0"), operations)
 
     # Whatever a plain (lenient) load can salvage before repair...
     import warnings as warnings_module

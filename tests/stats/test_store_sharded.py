@@ -1,0 +1,236 @@
+"""Sharded store layout: sharding, migration byte-identity, legacy
+read-only compatibility, and concurrent multi-process writers.
+
+docs/serving.md documents the layout these tests pin.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.stats.counters import SimulationStats
+from repro.stats.store import (
+    LegacyStoreError,
+    ResultsStore,
+    StoredRun,
+    content_key,
+    shard_of,
+)
+
+
+def _record(key: str, reads: int = 5) -> StoredRun:
+    stats = SimulationStats()
+    stats.reads = reads
+    stats.read_latency.add(42.5)
+    return StoredRun(
+        key=key,
+        params={"kind": "test", "reads": reads},
+        stats=stats,
+        total_time_ns=321.5,
+        inter_socket_bytes=64,
+        accesses_executed=reads,
+        wall_clock_s=0.01,
+    )
+
+
+def _hex_key(i: int) -> str:
+    return content_key({"point": i})
+
+
+# ----------------------------------------------------------------------
+# Layout
+# ----------------------------------------------------------------------
+
+
+def test_shard_of_spreads_hex_keys_and_overflows_the_rest():
+    assert shard_of("0abc") == "0"
+    assert shard_of("f000") == "f"
+    assert shard_of("F000") == "f"
+    assert shard_of("k1") == "x"          # non-hex test keys
+    assert shard_of("") == "x"
+
+
+def test_new_store_uses_sharded_layout(tmp_path):
+    store = ResultsStore(tmp_path / "store")
+    keys = [_hex_key(i) for i in range(32)]
+    for key in keys:
+        store.put(_record(key))
+    assert store.layout == "sharded"
+    assert store.meta_path.exists()
+    meta = json.loads(store.meta_path.read_text())
+    assert meta["layout"] == "sharded/v1" and meta["shards"] == 16
+    # Every record sits in the shard file its key prefix names.
+    for key in keys:
+        assert key in store.shard_path(key).read_text()
+    # 32 hashed keys land in several distinct shards.
+    assert len(store.shard_paths()) > 4
+    reopened = ResultsStore(tmp_path / "store")
+    assert set(reopened.keys()) == set(keys)
+    assert len(reopened) == 32
+
+
+def test_get_touches_only_one_shard_index(tmp_path):
+    store = ResultsStore(tmp_path / "store")
+    keys = [_hex_key(i) for i in range(32)]
+    for key in keys:
+        store.put(_record(key))
+    reopened = ResultsStore(tmp_path / "store")
+    assert reopened.get(keys[0]) is not None
+    loaded_shards = set(reopened._shard_index)
+    assert loaded_shards == {shard_of(keys[0])}
+
+
+def test_known_keys_scans_without_parsing_bodies(tmp_path):
+    store = ResultsStore(tmp_path / "store")
+    key = _hex_key(1)
+    store.put(_record(key))
+    # Corrupt the record body but keep the key field intact: the fast
+    # key index still sees the point, a full parse would not.
+    path = store.shard_path(key)
+    path.write_text(path.read_text().replace('"reads":5', '"raeds":<'))
+    fresh = ResultsStore(tmp_path / "store")
+    assert fresh.known_keys() == {key}
+
+
+# ----------------------------------------------------------------------
+# Legacy compatibility + migration
+# ----------------------------------------------------------------------
+
+
+def _write_legacy(directory, records, extra_lines=()):
+    """Hand-build a pre-shard single-file store; returns its raw lines."""
+    directory.mkdir(parents=True, exist_ok=True)
+    lines = [ResultsStore.encode_record(record) for record in records]
+    # A pre-checksum legacy record: canonical body, no "check" field.
+    lines.extend(extra_lines)
+    (directory / "results.jsonl").write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )
+    return lines
+
+
+def test_legacy_store_opens_read_only(tmp_path):
+    key = _hex_key(7)
+    _write_legacy(tmp_path / "legacy", [_record(key)])
+    store = ResultsStore(tmp_path / "legacy")
+    assert store.layout == "legacy"
+    assert store.get(key).stats.reads == 5      # reads work
+    assert store.verify().clean
+    with pytest.raises(LegacyStoreError) as exc:
+        store.put(_record(_hex_key(8)))
+    assert "repro store migrate" in str(exc.value)
+
+
+def test_migrate_is_byte_identical_and_atomic_commit(tmp_path):
+    records = [_record(_hex_key(i), reads=i + 1) for i in range(12)]
+    unchecksummed = json.dumps(
+        _record(_hex_key(50)).to_json_dict(), sort_keys=True,
+        separators=(",", ":"),
+    )
+    duplicate = ResultsStore.encode_record(_record(_hex_key(0), reads=99))
+    lines = _write_legacy(
+        tmp_path / "old", records,
+        extra_lines=[unchecksummed, duplicate, '{"torn-garbage'],
+    )
+    valid_lines = lines[:-1]                     # all but the torn line
+
+    store = ResultsStore(tmp_path / "old")
+    before = {r.key: r.to_json_dict() for r in store.records()}
+    report = store.migrate()
+    assert report.migrated == len(valid_lines)
+    assert report.dropped_corrupt == 1
+    assert report.removed_legacy
+
+    migrated = ResultsStore(tmp_path / "old")
+    assert migrated.layout == "sharded"
+    assert not migrated.results_path.exists()
+    # Every valid record line was copied byte for byte (keys *and* bodies;
+    # duplicates and the unchecksummed legacy record included).
+    shard_lines = []
+    for path in migrated.shard_paths():
+        shard_lines.extend(
+            line for line in path.read_text(encoding="utf-8").split("\n") if line
+        )
+    assert sorted(shard_lines) == sorted(valid_lines)
+    # Within a shard, original file order (hence last-wins) is preserved.
+    dup_shard = migrated.shard_path(_hex_key(0)).read_text()
+    assert dup_shard.index('"reads":1') < dup_shard.index('"reads":99')
+    assert migrated.get(_hex_key(0)).stats.reads == 99
+    # The migrated store verifies clean and serves identical records.
+    assert migrated.verify().clean
+    assert {r.key: r.to_json_dict() for r in migrated.records()} == before
+    # Migrated store is writable again.
+    migrated.put(_record(_hex_key(60)))
+    assert len(ResultsStore(tmp_path / "old")) == len(before) + 1
+
+
+def test_migrate_is_idempotent(tmp_path):
+    _write_legacy(tmp_path / "old", [_record(_hex_key(3))])
+    store = ResultsStore(tmp_path / "old")
+    assert store.migrate().migrated == 1
+    again = ResultsStore(tmp_path / "old").migrate()
+    assert again.migrated == 0 and "already sharded" in again.format()
+
+
+def test_store_cli_migrate(tmp_path, capsys):
+    from repro.stats.store import main as store_main
+
+    _write_legacy(tmp_path / "old", [_record(_hex_key(i)) for i in range(4)])
+    assert store_main(["migrate", "--store", str(tmp_path / "old")]) == 0
+    out = capsys.readouterr().out
+    assert "migrated" in out and "verdict: clean" in out
+    assert store_main(["compact", "--store", str(tmp_path / "old"),
+                       "--json"]) == 0
+    out = capsys.readouterr().out
+    decoder = json.JSONDecoder()
+    payload, _ = decoder.raw_decode(out.strip())
+    assert payload["kept"] == 4
+
+
+# ----------------------------------------------------------------------
+# Concurrent writer processes
+# ----------------------------------------------------------------------
+
+_SHARED_KEYS = [content_key({"shared": i}) for i in range(5)]
+
+
+def _writer_process(directory: str, writer_id: int, disjoint: int) -> None:
+    store = ResultsStore(directory)
+    for i in range(disjoint):
+        key = content_key({"writer": writer_id, "point": i})
+        store.put(_record(key, reads=writer_id * 1000 + i))
+    # Overlapping keys: every writer appends the same records (same key ->
+    # same payload by construction, as in real campaigns).
+    for i, key in enumerate(_SHARED_KEYS):
+        store.put(_record(key, reads=7 + i))
+
+
+def test_concurrent_writer_processes_interleave_cleanly(tmp_path):
+    directory = tmp_path / "store"
+    writers, disjoint = 4, 20
+    processes = [
+        multiprocessing.Process(
+            target=_writer_process, args=(str(directory), w, disjoint)
+        )
+        for w in range(writers)
+    ]
+    for proc in processes:
+        proc.start()
+    for proc in processes:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+
+    store = ResultsStore(directory)
+    report = store.verify()
+    assert report.clean                          # no torn/interleaved bytes
+    assert len(store) == writers * disjoint + len(_SHARED_KEYS)
+    # Overlapping appends are duplicates of bit-identical records.
+    assert all(count == writers for count in report.duplicate_keys.values())
+    assert set(report.duplicate_keys) == set(_SHARED_KEYS)
+    for i, key in enumerate(_SHARED_KEYS):
+        assert store.get(key).stats.reads == 7 + i
+    # Compaction collapses the duplicates and stays clean.
+    compacted = store.compact()
+    assert compacted.collapsed_duplicates == (writers - 1) * len(_SHARED_KEYS)
+    assert ResultsStore(directory).verify().duplicate_keys == {}

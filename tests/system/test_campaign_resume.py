@@ -50,10 +50,12 @@ def test_interrupted_campaign_resumes_bit_identically(tmp_path):
     # --- The victim: crashes after completing 2 of 4 points. --------------
     crash_store = ResultsStore(tmp_path / "crashed")
     run_sweep(points[:2], store=crash_store)
-    # A writer killed mid-append leaves a torn trailing line; the in-flight
-    # third point is lost but must not poison the resume.
-    with crash_store.results_path.open("a", encoding="utf-8") as handle:
-        handle.write('{"key": "torn-by-cr')
+    # A writer killed mid-append leaves a torn trailing line in the shard
+    # it was writing; the in-flight third point is lost but must not
+    # poison the resume.
+    torn_shard = crash_store.shard_path("0" * 64)
+    with torn_shard.open("a", encoding="utf-8") as handle:
+        handle.write('{"params": {"torn-by-cr')
 
     resumed_store = ResultsStore(tmp_path / "crashed")   # fresh invocation
     status = campaign_status(SPEC, resumed_store)

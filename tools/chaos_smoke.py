@@ -144,13 +144,17 @@ def main(argv=None) -> int:
         fail("surviving points' merged stats differ from the fault-free run")
     print("chaos-smoke: survivors merged bit-identically to the clean run")
 
-    # --- Store integrity: verify flags damage, repair restores. --------
-    store_path = ResultsStore(work / "chaos").results_path
-    text = store_path.read_text(encoding="utf-8")
-    damaged = text.replace('"reads":', '"raeds":', 1)   # still valid JSON
-    if damaged == text:
-        fail("could not damage the store (no '\"reads\":' in any record?)")
-    store_path.write_text(damaged, encoding="utf-8")
+    # --- Store integrity: verify flags damage, compact restores. -------
+    damaged_any = False
+    for shard_file in ResultsStore(work / "chaos").shard_paths():
+        text = shard_file.read_text(encoding="utf-8")
+        damaged = text.replace('"reads":', '"raeds":', 1)  # still valid JSON
+        if damaged != text:
+            shard_file.write_text(damaged, encoding="utf-8")
+            damaged_any = True
+            break
+    if not damaged_any:
+        fail("could not damage the store (no '\"reads\":' in any shard?)")
 
     damaged_store = ResultsStore(work / "chaos")
     report = damaged_store.verify()

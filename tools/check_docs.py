@@ -41,6 +41,7 @@ REQUIRED_DOCS = (
     "docs/performance.md",
     "docs/robustness.md",
     "docs/sampling.md",
+    "docs/serving.md",
     "docs/workloads.md",
 )
 
@@ -56,12 +57,21 @@ REQUIRED_SECTIONS = {
     "docs/architecture.md": (
         "## Execution engines",
         "| `vector` |",
+        "## Serving layer",
+        "`repro.api`",
     ),
     "docs/ingestion.md": (
         "## Import formats",
         "## Clone fitting and its tolerances",
         "workload-profile/v1",
         "workload-clone/v1",
+    ),
+    "docs/serving.md": (
+        "## The sharded store layout (`sharded/v1`)",
+        "## Migrating a legacy store",
+        "### HTTP API",
+        "## Concurrency model",
+        "sharded/v1",
     ),
 }
 

@@ -18,7 +18,7 @@ import argparse
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["store_options", "resolve_store_path"]
+__all__ = ["store_options", "engine_jobs_options", "resolve_store_path"]
 
 
 def store_options(*, store_help: Optional[str] = None,
@@ -41,6 +41,27 @@ def store_options(*, store_help: Optional[str] = None,
         "--json",
         action="store_true",
         help=json_help or "emit machine-readable JSON instead of prose",
+    )
+    return parent
+
+
+def engine_jobs_options() -> argparse.ArgumentParser:
+    """The shared ``--engine-jobs N`` parent parser.
+
+    Worker-process count for engines that parallelise a single simulation
+    (``sampled-par``, docs/performance.md "Parallel windows").  Purely an
+    execution knob: output and store keys are bit-identical at any value,
+    and nested parallelism (campaign ``--jobs`` workers, ``repro serve``)
+    clamps it to 1.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--engine-jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker processes for parallel engines such as sampled-par "
+        "(default: serial)",
     )
     return parent
 

@@ -23,6 +23,10 @@ Built-ins (names are part of the results-store key contract and stable):
                L1 hits applied in bulk, per-access protocol path only on
                misses; bit-identical to ``compiled``/``object``
                (docs/performance.md, "Vectorized execution").
+``sampled-par``  Sampled execution with measurement windows partitioned
+               across worker processes (``jobs`` engine option /
+               ``--engine-jobs``); bit-identical to ``sampled`` at any
+               job count (docs/performance.md, "Parallel windows").
 =============  ======================================================
 
 See docs/architecture.md ("Execution engines") for the interface and for
@@ -30,6 +34,7 @@ how to register a third-party engine.
 """
 
 from .base import (
+    WORKER_ENV,
     EngineContext,
     ExecutionEngine,
     SimulationResult,
@@ -39,6 +44,7 @@ from .base import (
 from .exact import CompiledEngine, ObjectEngine
 from .registry import get, names, register, unregister, validate
 from .sampled import SampledEngine
+from .sampled_par import SampledParEngine
 from .vector import VectorEngine
 
 __all__ = [
@@ -48,7 +54,9 @@ __all__ = [
     "CompiledEngine",
     "ObjectEngine",
     "SampledEngine",
+    "SampledParEngine",
     "VectorEngine",
+    "WORKER_ENV",
     "register",
     "unregister",
     "get",
@@ -64,3 +72,4 @@ register(CompiledEngine)
 register(ObjectEngine)
 register(SampledEngine)
 register(VectorEngine)
+register(SampledParEngine)

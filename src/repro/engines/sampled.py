@@ -16,20 +16,39 @@ makes fast-forward substantially cheaper per access than a detail window
 while leaving bit-identical architectural state behind
 (``tests/system/test_sampling.py`` and ``tools/check_sampling.py`` validate
 the resulting estimates against exact runs).
+
+Measurement windows are *isolated*: the engine's persistent chain advances
+functionally through the whole region, and each warmup+detail window runs in
+a copy-on-write forked child seeded with the chain state at the window's
+start, shipping its counter deltas back as a
+:class:`~repro.stats.sampling.WindowOutcome`.  The one exception is the
+*last* measured window of a walk, which runs inline on the chain itself:
+detailed execution is state-exact with functional execution and nothing
+after the final window reads the chain again, so the outcome is identical
+and the fork is saved.  Every window is therefore a pure function of the
+functional prefix before it, which is what lets ``engine=sampled-par``
+measure windows on concurrent worker processes (see
+:mod:`repro.engines.sampled_par`) while staying bit-identical to this serial
+engine.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import copy
+import os
+import pickle
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..caches.block import CacheBlockState
+from ..stats.counters import SimulationStats
 from ..stats.sampling import (
     SampledSimulationStats,
     SamplingPlan,
     SamplingSummary,
-    delta_counters,
+    SamplingUnit,
+    WindowOutcome,
     estimate_metrics,
-    snapshot_counters,
+    merge_window_outcomes,
 )
 from ..workloads.compiled import CompiledTrace
 from .base import EngineContext, ExecutionEngine, SimulationResult
@@ -37,6 +56,70 @@ from .base import EngineContext, ExecutionEngine, SimulationResult
 __all__ = ["SampledEngine"]
 
 _MODIFIED = CacheBlockState.MODIFIED
+
+#: Test/diagnostic switch: force the deepcopy (non-fork) window isolation
+#: path even on platforms where ``os.fork`` is available.
+_FORCE_COPY_ISOLATION = False
+
+
+def _run_window_counted(
+    context: EngineContext,
+    traces: Dict[int, CompiledTrace],
+    cursors: Dict[int, int],
+    unit: SamplingUnit,
+    index: int,
+) -> Tuple[Optional[WindowOutcome], int]:
+    """Measure one warmup+detail window, consuming its span from ``cursors``.
+
+    Runs the warmup segment under scratch statistics, then the detail
+    segment onto a fresh zeroed stats object whose counters become the
+    window's deltas.  The outcome is ``None`` when every trace was exhausted
+    before the detail segment (the serial engine's historical skip
+    semantics); the second element is the number of accesses executed, equal
+    to what a functional pass over the same span would have advanced.
+    """
+    system = context.system
+    warmup_executed = 0
+    if unit.warmup:
+        with context.scratch_stats():
+            warmup_executed = context.run_phase_compiled(
+                traces, cursors, unit.warmup
+            )
+    window_stats = SimulationStats()
+    saved_stats = system.stats
+    system.stats = window_stats
+    interconnect = system.interconnect
+    bytes_before = interconnect.bytes_sent
+    cores = system.cores
+    starts = {core_id: cores[core_id].time for core_id in traces}
+    try:
+        detail_executed = context.run_phase_compiled(traces, cursors, unit.detail)
+    finally:
+        system.stats = saved_stats
+    executed = warmup_executed + detail_executed
+    if not detail_executed:
+        return None, executed
+    outcome = WindowOutcome(
+        unit_index=index,
+        detail_executed=detail_executed,
+        stats=window_stats,
+        inter_socket_bytes=interconnect.bytes_sent - bytes_before,
+        detail_elapsed={
+            core_id: cores[core_id].time - starts[core_id] for core_id in traces
+        },
+    )
+    return outcome, executed
+
+
+def _run_window(
+    context: EngineContext,
+    traces: Dict[int, CompiledTrace],
+    cursors: Dict[int, int],
+    unit: SamplingUnit,
+    index: int,
+) -> Optional[WindowOutcome]:
+    """Measure one window on (an isolated copy of) ``context``."""
+    return _run_window_counted(context, traces, cursors, unit, index)[0]
 
 
 class SampledEngine(ExecutionEngine):
@@ -98,39 +181,10 @@ class SampledEngine(ExecutionEngine):
             plan = SamplingPlan.for_region(region)
         units = plan.units(region)
 
-        cores = system.cores
-        executed = 0
-        detail_total = 0
-        inter_socket_bytes = 0
-        detail_elapsed = {core_id: 0.0 for core_id in traces}
-        samples = []
-        for unit in units:
-            if unit.fastforward:
-                with context.scratch_stats(), context.functional_timing():
-                    executed += self.run_phase_functional(
-                        context, traces, cursors, unit.fastforward
-                    )
-            if unit.warmup:
-                with context.scratch_stats():
-                    executed += context.run_phase_compiled(traces, cursors, unit.warmup)
-            if unit.detail:
-                before = snapshot_counters(stats)
-                bytes_before = interconnect.bytes_sent
-                starts = {core_id: cores[core_id].time for core_id in traces}
-                detail_executed = context.run_phase_compiled(
-                    traces, cursors, unit.detail
-                )
-                if not detail_executed:
-                    continue  # every trace exhausted before this window
-                executed += detail_executed
-                detail_total += detail_executed
-                samples.append(delta_counters(before, snapshot_counters(stats)))
-                inter_socket_bytes += interconnect.bytes_sent - bytes_before
-                for core_id in traces:
-                    detail_elapsed[core_id] += cores[core_id].time - starts[core_id]
-
-        for core_id, elapsed in detail_elapsed.items():
-            stats.core_finish_ns[core_id] = elapsed
+        outcomes, executed = self._execute_units(context, traces, cursors, units)
+        samples, detail_total, inter_socket_bytes, _ = merge_window_outcomes(
+            stats, outcomes, list(traces)
+        )
         summary = SamplingSummary(
             plan=plan,
             detail_accesses=detail_total,
@@ -147,6 +201,161 @@ class SampledEngine(ExecutionEngine):
             inter_socket_bytes=inter_socket_bytes,
             accesses_executed=executed,
         )
+
+    # ------------------------------------------------------------------
+    # Unit execution: the functional chain + isolated window measurement
+    # ------------------------------------------------------------------
+
+    def _execute_units(
+        self,
+        context: EngineContext,
+        traces: Dict[int, CompiledTrace],
+        cursors: Dict[int, int],
+        units: Sequence[SamplingUnit],
+    ) -> Tuple[List[WindowOutcome], int]:
+        """Execute the plan's units; the serial strategy walks the chain once.
+
+        ``sampled-par`` overrides this hook to farm window ranges out to
+        worker processes; everything else (setup, merge, estimators) is
+        shared, which is what keeps the two engines bit-identical.
+        """
+        return self._walk_units(context, traces, cursors, units)
+
+    def _walk_units(
+        self,
+        context: EngineContext,
+        traces: Dict[int, CompiledTrace],
+        cursors: Dict[int, int],
+        units: Sequence[SamplingUnit],
+        *,
+        stop: Optional[int] = None,
+        count_from: int = 0,
+        measure: Optional[Set[int]] = None,
+    ) -> Tuple[List[WindowOutcome], int]:
+        """Advance the functional chain over ``units[:stop]``.
+
+        The chain itself is purely functional: every unit's fast-forward
+        *and* its warmup+detail span advance as one ``run_phase_functional``
+        call each (the two-call-per-unit pattern is part of the bit-identity
+        contract -- prefix replays in range workers must interleave chunks
+        exactly like the serial walk).  Windows are measured on forked
+        copies of the chain state, never on the chain, so a window's outcome
+        does not depend on who walks the chain or how far it continues.
+
+        ``executed`` counts (and windows are measured) only from unit
+        ``count_from`` on -- a range worker replays its prefix without
+        re-counting units another worker owns.  ``measure`` optionally
+        restricts measurement to a set of unit indices (the parent's inline
+        retry of a failed worker's range).
+
+        The *last* measured window of a walk runs inline on the chain
+        itself, no isolation: its outcome is computed by the same phase
+        calls from the same state either way, and nothing after it reads
+        the timing residue it leaves behind (detailed execution is
+        state-exact with functional execution, so any trailing fast-forward
+        advances identically).  This is what makes a one-window-per-worker
+        partition fork-free.
+        """
+        executed = 0
+        outcomes: List[WindowOutcome] = []
+        limit = len(units) if stop is None else stop
+
+        def measured(index: int) -> bool:
+            return bool(
+                units[index].detail
+                and index >= count_from
+                and (measure is None or index in measure)
+            )
+
+        last_measured = next(
+            (index for index in range(limit - 1, -1, -1) if measured(index)), None
+        )
+        for index in range(limit):
+            unit = units[index]
+            counted = index >= count_from
+            if unit.fastforward:
+                with context.scratch_stats(), context.functional_timing():
+                    advanced = self.run_phase_functional(
+                        context, traces, cursors, unit.fastforward
+                    )
+                if counted:
+                    executed += advanced
+            span = unit.warmup + unit.detail
+            if not span:
+                continue
+            if index == last_measured:
+                # Inline: the window's warmup+detail advance the chain
+                # cursors themselves, so the span is consumed -- no
+                # functional pass over it.
+                outcome, advanced = _run_window_counted(
+                    context, traces, cursors, unit, index
+                )
+                if outcome is not None:
+                    outcomes.append(outcome)
+                if counted:
+                    executed += advanced
+                continue
+            if measured(index):
+                outcome = self._measure_window(context, traces, cursors, unit, index)
+                if outcome is not None:
+                    outcomes.append(outcome)
+            with context.scratch_stats(), context.functional_timing():
+                advanced = self.run_phase_functional(context, traces, cursors, span)
+            if counted:
+                executed += advanced
+        return outcomes, executed
+
+    def _measure_window(
+        self,
+        context: EngineContext,
+        traces: Dict[int, CompiledTrace],
+        cursors: Dict[int, int],
+        unit: SamplingUnit,
+        index: int,
+    ) -> Optional[WindowOutcome]:
+        """Measure one window on an isolated copy of the chain state.
+
+        On POSIX the copy is a forked child (copy-on-write, ~ms); the child
+        runs the window and pickles its :class:`WindowOutcome` back through
+        a pipe.  ``os.fork`` is used directly rather than
+        ``multiprocessing.Process`` so the measurement works inside daemonic
+        campaign workers too (daemons may not spawn multiprocessing
+        children).  Elsewhere -- or under ``_FORCE_COPY_ISOLATION`` -- the
+        system is deep-copied instead: slower, but state-identical, which
+        the equivalence tests assert.
+        """
+        if _FORCE_COPY_ISOLATION or os.name != "posix":
+            system_copy, cursors_copy = copy.deepcopy((context.system, cursors))
+            isolated = EngineContext(
+                system_copy, context.workload, sample_plan=context.sample_plan
+            )
+            return _run_window(isolated, traces, cursors_copy, unit, index)
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child process exits before coverage flush
+            status = 0
+            try:
+                os.close(read_fd)
+                outcome = _run_window(context, traces, dict(cursors), unit, index)
+                payload = pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+                with os.fdopen(write_fd, "wb") as pipe:
+                    pipe.write(payload)
+            except BaseException:
+                status = 70
+            finally:
+                # Skip interpreter teardown: the child must not run the
+                # parent's atexit hooks or flush its inherited buffers.
+                os._exit(status)
+        os.close(write_fd)
+        with os.fdopen(read_fd, "rb") as pipe:
+            payload = pipe.read()
+        _, status = os.waitpid(pid, 0)
+        if status != 0 or not payload:
+            raise RuntimeError(
+                f"window measurement child for unit {index} failed "
+                f"(wait status {status})"
+            )
+        return pickle.loads(payload)
 
     # ------------------------------------------------------------------
     # Functional fast-forward on compiled-trace batches

@@ -1,0 +1,208 @@
+"""The ``sampled-par`` engine: measurement windows across worker processes.
+
+``sampled`` measures every warmup+detail window in an isolated forked child
+seeded with the functional chain's state at the window start, which makes
+each window a *pure function* of the plan prefix before it (see
+:mod:`repro.engines.sampled`).  This engine exploits that purity: the plan's
+units are split into contiguous ranges
+(:func:`~repro.stats.sampling.partition_units`), each range goes to one
+``multiprocessing.Process`` worker that fast-forwards from the region start
+to its range (one prefix replay per worker, not per window) and then walks
+its range exactly like the serial engine -- same two
+``run_phase_functional`` calls per unit, same forked window children -- and
+ships its :class:`~repro.stats.sampling.WindowOutcome` list back over a
+pipe.  The parent merges outcomes in deterministic window order, so every
+reported number -- counters, confidence intervals, store hash keys -- is
+bit-identical to ``engine=sampled`` at any ``jobs`` setting.
+
+Graceful degradation mirrors ``experiments/runner.py``'s isolated executor:
+a watchdog polls each worker's pipe; a worker that dies (crash, SIGKILL) or
+exceeds the optional ``timeout_s`` engine option is killed and its unit
+range is re-run inline by the parent over a fresh chain walk.  ``jobs <= 1``
+-- including the nested-parallelism clamp, when :data:`WORKER_ENV` marks
+this process as already being someone's worker -- short-circuits to the
+serial walk, sharing the exact serial code path.
+
+``REPRO_FAULTS`` (docs/robustness.md) covers the range workers: each worker
+rolls the deterministic crash/hang sites with a ``window-worker`` payload
+before touching the chain, so chaos tests exercise the retry path end to
+end.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..stats.sampling import SamplingUnit, WindowOutcome, partition_units
+from ..testing import faults
+from ..workloads.compiled import CompiledTrace
+from .base import WORKER_ENV, EngineContext
+from .sampled import SampledEngine
+
+__all__ = ["SampledParEngine", "effective_jobs"]
+
+#: Test hook run at every range worker's entry (after the nested-parallelism
+#: marker is set, before any simulation work).  Monkeypatched module state is
+#: inherited by forked workers, so chaos tests install e.g. a SIGKILL here.
+_WORKER_TEST_HOOK = None
+
+
+def effective_jobs(requested: Optional[int]) -> int:
+    """The worker count ``sampled-par`` actually uses for a request.
+
+    Clamped to 1 when the request is absent or not parallel, when this
+    process is itself someone's worker (:data:`WORKER_ENV` -- campaigns with
+    ``--jobs`` and ``repro serve`` already own the machine's parallelism),
+    and on platforms whose multiprocessing start method is not ``fork``
+    (range workers inherit live traces and system state by forking).
+    """
+    jobs = 1 if requested is None else int(requested)
+    if jobs <= 1:
+        return 1
+    if os.environ.get(WORKER_ENV):
+        return 1
+    if multiprocessing.get_start_method() != "fork":
+        return 1
+    return jobs
+
+
+def _range_worker(
+    conn,
+    engine: "SampledParEngine",
+    context: EngineContext,
+    traces: Dict[int, CompiledTrace],
+    cursors: Dict[int, int],
+    units: Sequence[SamplingUnit],
+    lo: int,
+    hi: int,
+) -> None:
+    """Worker entry: replay the prefix, measure units ``[lo, hi)``, ship back."""
+    os.environ[WORKER_ENV] = "1"
+    try:
+        plan = faults.active()
+        if plan is not None:
+            plan.inject_point_faults(
+                f"sampled-par/units[{lo}:{hi})",
+                {"kind": "window-worker", "site": "sampled-par", "units": [lo, hi]},
+                attempt=1,
+            )
+        if _WORKER_TEST_HOOK is not None:
+            _WORKER_TEST_HOOK(lo, hi)
+        outcomes, executed = engine._walk_units(
+            context, traces, cursors, units, stop=hi, count_from=lo
+        )
+        conn.send(("ok", outcomes, executed))
+    except BaseException as exc:  # noqa: BLE001 - isolation is the point
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class SampledParEngine(SampledEngine):
+    """Sampled execution with window ranges on parallel worker processes."""
+
+    name = "sampled-par"
+    supports_sampling = True
+    supports_trace_compile = True
+    #: Bit-identical to ``sampled`` by contract, so runs share store keys
+    #: and cached results with it (tests/engines/test_store_keys.py).
+    store_name = "sampled"
+
+    #: Watchdog poll interval while workers are in flight.
+    _POLL_S = 0.02
+
+    def _execute_units(
+        self,
+        context: EngineContext,
+        traces: Dict[int, CompiledTrace],
+        cursors: Dict[int, int],
+        units: Sequence[SamplingUnit],
+    ) -> Tuple[List[WindowOutcome], int]:
+        jobs = effective_jobs(context.engine_options.get("jobs"))
+        ranges = partition_units(units, jobs) if jobs > 1 else []
+        if len(ranges) <= 1:
+            # Serial fallback: the clamp, a one-range partition, or an
+            # explicit jobs=1 all share the exact serial chain walk.
+            return super()._execute_units(context, traces, cursors, units)
+        timeout_s = context.engine_options.get("timeout_s")
+        region_cursors = dict(cursors)
+        deadline = (
+            time.monotonic() + float(timeout_s) if timeout_s is not None else None
+        )
+
+        mp = multiprocessing.get_context()
+        inflight = {}
+        for lo, hi in ranges:
+            parent_conn, child_conn = mp.Pipe(duplex=False)
+            process = mp.Process(
+                target=_range_worker,
+                args=(
+                    child_conn, self, context, traces, region_cursors, units, lo, hi,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            inflight[process] = (lo, hi, parent_conn)
+
+        outcomes: List[WindowOutcome] = []
+        executed = 0
+        failed: List[Tuple[int, int]] = []
+        while inflight:
+            progressed = False
+            for process in list(inflight):
+                lo, hi, conn = inflight[process]
+                if conn.poll(0):
+                    try:
+                        message = conn.recv()
+                    except EOFError:
+                        message = ("error", "worker closed its pipe mid-send")
+                    progressed = True
+                    del inflight[process]
+                    process.join()
+                    if message[0] == "ok":
+                        outcomes.extend(message[1])
+                        executed += message[2]
+                    else:
+                        failed.append((lo, hi))
+                elif not process.is_alive():
+                    # Died without a message: crashed or SIGKILLed.
+                    progressed = True
+                    del inflight[process]
+                    process.join()
+                    failed.append((lo, hi))
+                elif deadline is not None and time.monotonic() > deadline:
+                    progressed = True
+                    del inflight[process]
+                    self._kill_worker(process)
+                    failed.append((lo, hi))
+            if inflight and not progressed:
+                time.sleep(self._POLL_S)
+
+        if failed:
+            # Inline retry under the parent: one fresh chain walk measures
+            # exactly the failed ranges' windows.  The walk covers the whole
+            # region, so its executed count replaces the workers' partial
+            # sums (some of which died before reporting).
+            retry_measure = {
+                index for lo, hi in failed for index in range(lo, hi)
+            }
+            keep = [o for o in outcomes if o.unit_index not in retry_measure]
+            retried, executed = self._walk_units(
+                context, traces, dict(region_cursors), units, measure=retry_measure
+            )
+            outcomes = keep + retried
+        return outcomes, executed
+
+    @staticmethod
+    def _kill_worker(process) -> None:
+        """Stop a hung worker like the campaign runner does (TERM, then KILL)."""
+        from ..experiments.runner import _kill_worker
+
+        _kill_worker(process)

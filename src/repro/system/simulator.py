@@ -43,6 +43,7 @@ class Simulator:
         *,
         engine: str = "compiled",
         sample_plan: Optional[SamplingPlan] = None,
+        engine_options: Optional[dict] = None,
     ) -> None:
         #: Resolved engine instance (registry authority -- unknown names
         #: raise a ``ValueError`` listing the registered engines).
@@ -58,6 +59,10 @@ class Simulator:
         #: Plan for sampling engines; ``None`` derives one from the measured
         #: region length (:meth:`SamplingPlan.for_region`).
         self.sample_plan = sample_plan
+        #: Execution knobs forwarded to the engine (e.g. ``{"jobs": 4}`` for
+        #: ``sampled-par``).  Options shape *how* a run executes, never its
+        #: statistics, so they stay out of results-store keys.
+        self.engine_options = dict(engine_options or {})
 
     # ------------------------------------------------------------------
     # Public API
@@ -99,5 +104,8 @@ class Simulator:
 
     def _context(self) -> EngineContext:
         return EngineContext(
-            self.system, self.workload, sample_plan=self.sample_plan
+            self.system,
+            self.workload,
+            sample_plan=self.sample_plan,
+            engine_options=self.engine_options,
         )

@@ -1,0 +1,228 @@
+"""The ``sampled-par`` engine: bit-identity, degradation, and the jobs clamp.
+
+The engine's whole contract is that parallel execution is an *execution*
+detail: for every protocol and any job count, ``SampledSimulationStats``
+(counters, confidence intervals, JSON form) and the result fields must be
+byte-identical to ``engine=sampled`` -- including when workers are killed
+mid-run and their ranges are retried inline by the parent (chaos tests
+below), and when the nested-parallelism clamp forces the serial path.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+import repro.engines.sampled as sampled_module
+import repro.engines.sampled_par as sampled_par_module
+from repro.engines import WORKER_ENV, names
+from repro.engines.sampled_par import effective_jobs
+from repro.stats.sampling import SamplingPlan, SamplingUnit, partition_units
+from repro.system.config import SystemConfig
+from repro.system.numa_system import NumaSystem
+from repro.system.simulator import Simulator
+from repro.testing import faults
+from repro.workloads.registry import make_workload
+
+SCALE = 1024
+ACCESSES = 500
+WARMUP = 100
+PROTOCOLS = ["baseline", "snoopy", "full-dir", "c3d", "c3d-full-dir"]
+
+PLAN = SamplingPlan(
+    num_units=4, detail=40, warmup=20, confidence=0.99, bias_floor=0.03, seed=5
+)
+
+
+def _run(protocol, engine, *, jobs=None, plan=PLAN):
+    config = SystemConfig.dual_socket(
+        protocol=protocol, num_sockets=2, cores_per_socket=2
+    ).scaled(SCALE)
+    system = NumaSystem(config)
+    workload = make_workload(
+        "streamcluster", scale=SCALE, accesses_per_thread=ACCESSES + WARMUP,
+        num_threads=config.total_cores, seed=1,
+    )
+    engine_options = {"jobs": jobs} if jobs is not None else None
+    result = Simulator(
+        system, workload, engine=engine, sample_plan=plan,
+        engine_options=engine_options,
+    ).run(warmup_accesses_per_core=WARMUP, prewarm=True)
+    return result, system
+
+
+def _fingerprint(result):
+    """The full observable outcome, in canonical JSON form."""
+    return json.dumps(
+        {
+            "stats": result.stats.to_json_dict(),
+            "total_time_ns": result.total_time_ns,
+            "inter_socket_bytes": result.inter_socket_bytes,
+            "accesses_executed": result.accesses_executed,
+        },
+        sort_keys=True,
+        default=str,
+    )
+
+
+_SERIAL_CACHE = {}
+
+
+def _serial_fingerprint(protocol):
+    if protocol not in _SERIAL_CACHE:
+        result, system = _run(protocol, "sampled")
+        assert system.check_invariants() == []
+        _SERIAL_CACHE[protocol] = _fingerprint(result)
+    return _SERIAL_CACHE[protocol]
+
+
+def test_sampled_par_registered():
+    assert "sampled-par" in names()
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_bit_identical_to_sampled(protocol, jobs):
+    """Acceptance: byte-identical sampled output for all 5 protocols at
+    jobs in {1, 2, 4}."""
+    result, system = _run(protocol, "sampled-par", jobs=jobs)
+    assert system.check_invariants() == []
+    assert _fingerprint(result) == _serial_fingerprint(protocol)
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: dead / hung workers retried inline by the parent
+# ----------------------------------------------------------------------
+
+
+def test_sigkilled_worker_range_retried_inline(monkeypatch):
+    """SIGKILL one range worker mid-run: the run completes and the output
+    is still bit-identical (the parent re-measures the lost range)."""
+
+    def kill_first_range(lo, hi):
+        if lo == 0:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    monkeypatch.setattr(sampled_par_module, "_WORKER_TEST_HOOK", kill_first_range)
+    result, system = _run("c3d", "sampled-par", jobs=2)
+    assert system.check_invariants() == []
+    assert _fingerprint(result) == _serial_fingerprint("c3d")
+
+
+def test_hung_worker_killed_and_retried(monkeypatch):
+    """A worker that exceeds the ``timeout_s`` engine option is killed by
+    the watchdog and its range re-run inline, output unchanged."""
+
+    def hang_first_range(lo, hi):
+        if lo == 0:
+            time.sleep(30.0)
+
+    monkeypatch.setattr(sampled_par_module, "_WORKER_TEST_HOOK", hang_first_range)
+    config = SystemConfig.dual_socket(
+        protocol="c3d", num_sockets=2, cores_per_socket=2
+    ).scaled(SCALE)
+    system = NumaSystem(config)
+    workload = make_workload(
+        "streamcluster", scale=SCALE, accesses_per_thread=ACCESSES + WARMUP,
+        num_threads=config.total_cores, seed=1,
+    )
+    result = Simulator(
+        system, workload, engine="sampled-par", sample_plan=PLAN,
+        engine_options={"jobs": 2, "timeout_s": 2.0},
+    ).run(warmup_accesses_per_core=WARMUP, prewarm=True)
+    assert system.check_invariants() == []
+    assert _fingerprint(result) == _serial_fingerprint("c3d")
+
+
+def test_repro_faults_cover_range_workers():
+    """The deterministic chaos harness reaches the new workers: a poison
+    matcher on the ``window-worker`` payload crashes every range worker,
+    the parent retries everything inline, and the output is unchanged."""
+    plan = faults.FaultPlan(seed=3, poison=({"kind": "window-worker"},))
+    with faults.injected(plan):
+        result, system = _run("baseline", "sampled-par", jobs=2)
+    assert system.check_invariants() == []
+    assert _fingerprint(result) == _serial_fingerprint("baseline")
+
+
+# ----------------------------------------------------------------------
+# Nested-parallelism clamp
+# ----------------------------------------------------------------------
+
+
+def test_effective_jobs_clamps_inside_workers(monkeypatch):
+    monkeypatch.delenv(WORKER_ENV, raising=False)
+    assert effective_jobs(None) == 1
+    assert effective_jobs(1) == 1
+    assert effective_jobs(0) == 1
+    monkeypatch.setenv(WORKER_ENV, "1")
+    assert effective_jobs(4) == 1
+
+
+def test_effective_jobs_passthrough_on_fork_platforms(monkeypatch):
+    monkeypatch.delenv(WORKER_ENV, raising=False)
+    import multiprocessing
+
+    expected = 4 if multiprocessing.get_start_method() == "fork" else 1
+    assert effective_jobs(4) == expected
+
+
+# ----------------------------------------------------------------------
+# Window-range partitioning
+# ----------------------------------------------------------------------
+
+
+def _units(spans):
+    return [SamplingUnit(fastforward=ff, warmup=w, detail=d) for ff, w, d in spans]
+
+
+def test_partition_covers_all_units_contiguously():
+    units = _units([(100, 20, 40)] * 8)
+    for jobs in (1, 2, 3, 4, 8):
+        ranges = partition_units(units, jobs)
+        assert ranges[0][0] == 0 and ranges[-1][1] == len(units)
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+        assert all(lo < hi for lo, hi in ranges)
+        assert len(ranges) <= jobs
+
+
+def test_partition_is_deterministic_and_balanced():
+    # Window-dominated units (the parallel-bench shape): even split.
+    units = _units([(25, 25, 250)] * 8)
+    ranges = partition_units(units, 4)
+    assert ranges == partition_units(units, 4)
+    assert ranges == [(0, 2), (2, 4), (4, 6), (6, 8)]
+    # Fast-forward-heavy units: the later ranges shrink, because a range's
+    # cost includes replaying the whole functional prefix before it.
+    heavy = _units([(1000, 20, 40)] * 8)
+    head, tail = partition_units(heavy, 4)[0], partition_units(heavy, 4)[-1]
+    assert head[1] - head[0] >= tail[1] - tail[0]
+
+
+def test_partition_never_exceeds_windowed_unit_count():
+    units = _units([(100, 20, 40), (100, 0, 0), (100, 20, 40)])
+    ranges = partition_units(units, 8)
+    # Only 2 measured windows exist; extra jobs collapse away.
+    assert len(ranges) <= 2
+
+
+def test_partition_single_job_is_one_range():
+    units = _units([(100, 20, 40)] * 4)
+    assert partition_units(units, 1) == [(0, len(units))]
+
+
+# ----------------------------------------------------------------------
+# Isolation strategies agree
+# ----------------------------------------------------------------------
+
+
+def test_fork_and_deepcopy_window_isolation_are_state_identical(monkeypatch):
+    """The deepcopy fallback path (non-POSIX platforms) must produce the
+    same windows as the forked copy-on-write path."""
+    monkeypatch.setattr(sampled_module, "_FORCE_COPY_ISOLATION", True)
+    result, system = _run("baseline", "sampled")
+    assert system.check_invariants() == []
+    assert _fingerprint(result) == _serial_fingerprint("baseline")

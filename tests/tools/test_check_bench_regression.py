@@ -179,6 +179,61 @@ def test_latest_record_rejects_an_empty_history(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Explicit record selection (--record-index / --timestamp)
+# ----------------------------------------------------------------------
+
+
+def _history(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(
+        json.dumps(
+            [
+                {"git_sha": "a", "timestamp": "t0"},
+                {"git_sha": "b", "timestamp": "t1"},
+                {"git_sha": "c", "timestamp": "t1"},
+            ]
+        )
+    )
+    return path
+
+
+def test_select_record_by_positive_and_negative_index(tmp_path):
+    path = _history(tmp_path)
+    assert gate.select_record(path, index=0)["git_sha"] == "a"
+    assert gate.select_record(path, index=-1)["git_sha"] == "c"
+    assert gate.select_record(path, index=-2)["git_sha"] == "b"
+
+
+def test_select_record_index_out_of_range(tmp_path):
+    with pytest.raises(ValueError, match="out of range"):
+        gate.select_record(_history(tmp_path), index=7)
+
+
+def test_select_record_by_timestamp_takes_the_last_match(tmp_path):
+    """A shared history may hold several records from one CI run; the last
+    one with the requested stamp is the record that run finished with."""
+    record = gate.select_record(_history(tmp_path), timestamp="t1")
+    assert record["git_sha"] == "c"
+
+
+def test_select_record_unknown_timestamp_lists_available(tmp_path):
+    with pytest.raises(ValueError, match=r"no record with timestamp 't9'"):
+        gate.select_record(_history(tmp_path), timestamp="t9")
+
+
+def test_select_record_rejects_both_selectors(tmp_path):
+    with pytest.raises(ValueError, match="not both"):
+        gate.select_record(_history(tmp_path), index=0, timestamp="t0")
+
+
+def test_select_record_bare_record_ignores_selectors(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"git_sha": "solo"}))
+    assert gate.select_record(path, index=5)["git_sha"] == "solo"
+    assert gate.select_record(path, timestamp="t9")["git_sha"] == "solo"
+
+
+# ----------------------------------------------------------------------
 # main(): the exit codes the CI jobs key off
 # ----------------------------------------------------------------------
 
@@ -240,3 +295,38 @@ def test_main_speedup_regression_exits_one(tmp_path):
                    "vector_"])
         == 1
     )
+
+
+def test_main_record_index_gates_the_pinned_record(tmp_path):
+    """The parallel-bench CI job pins its own appended record with
+    --record-index rather than trusting 'latest' in a shared history."""
+    good = _record(**{"baseline/compiled": 100_000.0, "c3d/compiled": 50_000.0})
+    bad = _record(**{"baseline/compiled": 1.0, "c3d/compiled": 1.0})
+    record = _write(tmp_path, "bench.json", [good, bad])
+    baseline = _write(tmp_path, "baseline.json", _baseline())
+    assert gate.main([record, "--baseline", baseline, "--record-index", "0"]) == 0
+    assert gate.main([record, "--baseline", baseline, "--record-index", "-1"]) == 1
+
+
+def test_main_bad_selector_exits_two(tmp_path, capsys):
+    record = _write(tmp_path, "bench.json", [_record()])
+    baseline = _write(tmp_path, "baseline.json", _baseline())
+    assert gate.main([record, "--baseline", baseline, "--record-index", "9"]) == 2
+    assert "out of range" in capsys.readouterr().err
+
+
+def test_main_timestamp_selects_the_matching_record(tmp_path):
+    good = _record(**{"baseline/compiled": 100_000.0, "c3d/compiled": 50_000.0})
+    bad = dict(_record(**{"baseline/compiled": 1.0}), timestamp="later")
+    record = _write(tmp_path, "bench.json", [good, bad])
+    baseline = _write(tmp_path, "baseline.json", _baseline())
+    args = [record, "--baseline", baseline, "--timestamp", "2026-08-08T00:00:00Z"]
+    assert gate.main(args) == 0
+    assert gate.main([record, "--baseline", baseline, "--timestamp", "nope"]) == 2
+
+
+def test_main_rejects_both_selectors_at_the_parser(tmp_path, capsys):
+    record = _write(tmp_path, "bench.json", [_record()])
+    with pytest.raises(SystemExit):
+        gate.main([record, "--record-index", "0", "--timestamp", "t0"])
+    assert "not allowed with" in capsys.readouterr().err

@@ -11,13 +11,20 @@ Compares the most recent record of a bench output file (the JSON list
   an accidentally quadratic change) lands well below it.
 * **speedups** (``--speedups``): every key of the baseline's ``speedups``
   section -- the ``sampled_speedup_*`` exact-vs-sampled ratios ``repro
-  bench --sampled`` records and the ``vector_speedup_*`` object-vs-vector
-  ratios recorded whenever both engines are benched -- must reach its
+  bench --sampled`` records, the ``vector_speedup_*`` object-vs-vector
+  ratios recorded whenever both engines are benched, and the
+  ``parallel_speedup_*`` serial-vs-parallel sampled ratios recorded when
+  ``sampled`` and ``sampled-par`` are benched together -- must reach its
   committed floor.  Ratios of two runs on the same machine are largely
   noise-immune, so the floors are applied directly (no tolerance factor).
   ``--speedups-prefix`` limits the gate to one engine family's floors, so
-  the sampling and vector CI jobs each gate only the ratios their own
-  bench invocation produced.
+  the sampling, vector and parallel CI jobs each gate only the ratios
+  their own bench invocation produced.
+
+By default the gate reads the *latest* record of the history file;
+``--record-index`` (Python list indexing) or ``--timestamp`` pins a
+specific record instead, so a job appending to a shared history can gate
+exactly the record it just produced.
 
 Usage::
 
@@ -37,6 +44,14 @@ Usage::
     python tools/check_bench_regression.py bench_vector.json \
         --speedups --speedups-prefix vector_
 
+    PYTHONPATH=src python -m repro bench --workload hotset --scale 1 \
+        --accesses 2500 --rounds 2 --protocols baseline c3d \
+        --engines sampled sampled-par --engine-jobs 4 \
+        --sample-plan units=8,detail=250,warmup=25 \
+        --output bench_parallel.json
+    python tools/check_bench_regression.py bench_parallel.json \
+        --speedups-prefix parallel_ --record-index -1
+
 Exits 0 when every gated value clears, 1 otherwise (listing each
 regression).  The CI ``bench-regression`` job uploads the fresh output as a
 workflow artifact so the committed baseline can be refreshed from a healthy
@@ -55,14 +70,44 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
 
 
+def select_record(
+    path: Path, *, index: Optional[int] = None, timestamp: Optional[str] = None
+) -> dict:
+    """Pick one record of a ``repro bench`` output file.
+
+    By default the most recent record (``index=-1``); a CI job that just
+    appended its own record to a shared history pins the exact one it
+    produced with ``index`` (Python list semantics, negatives count from the
+    end) or with the record's ``timestamp`` field.  A single-record file (a
+    bare JSON object, not a list) is returned as-is for either selector.
+    """
+    if index is not None and timestamp is not None:
+        raise ValueError("pass either index or timestamp, not both")
+    history = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(history, list):
+        return history
+    if not history:
+        raise ValueError(f"{path} contains an empty history")
+    if timestamp is not None:
+        matches = [r for r in history if r.get("timestamp") == timestamp]
+        if not matches:
+            stamps = [r.get("timestamp", "?") for r in history]
+            raise ValueError(
+                f"{path} has no record with timestamp {timestamp!r} "
+                f"(available: {stamps})"
+            )
+        return matches[-1]
+    try:
+        return history[index if index is not None else -1]
+    except IndexError:
+        raise ValueError(
+            f"{path} has {len(history)} record(s); index {index} is out of range"
+        ) from None
+
+
 def latest_record(path: Path) -> dict:
     """The most recent record of a ``repro bench`` output file."""
-    history = json.loads(path.read_text(encoding="utf-8"))
-    if isinstance(history, list):
-        if not history:
-            raise ValueError(f"{path} contains an empty history")
-        return history[-1]
-    return history
+    return select_record(path)
 
 
 def check(record: dict, baseline: dict, tolerance: Optional[float] = None) -> List[str]:
@@ -159,14 +204,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PREFIX",
         help="with --speedups (implied), gate only floors whose key starts "
-        "with PREFIX (e.g. 'sampled_' or 'vector_')",
+        "with PREFIX (e.g. 'sampled_', 'vector_' or 'parallel_')",
+    )
+    selector = parser.add_mutually_exclusive_group()
+    selector.add_argument(
+        "--record-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="gate history record I instead of the latest (Python list "
+        "indexing; -1 = latest)",
+    )
+    selector.add_argument(
+        "--timestamp",
+        default=None,
+        metavar="TS",
+        help="gate the history record whose 'timestamp' field equals TS",
     )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    record = latest_record(Path(args.record))
+    try:
+        record = select_record(
+            Path(args.record), index=args.record_index, timestamp=args.timestamp
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
     if args.speedups or args.speedups_prefix:
         failures = check_speedups(record, baseline, args.speedups_prefix)
